@@ -1,0 +1,138 @@
+// Package automdt is the public API of this AutoMDT implementation — a
+// modular, reinforcement-learning-driven data transfer architecture
+// reproducing "Modular Architecture for High-Performance and Low Overhead
+// Data Transfers" (SC 2025).
+//
+// The system decouples a transfer into read, network, and write stages
+// with independently sized worker pools, and jointly tunes the three
+// concurrency values with a PPO agent trained offline against a
+// lightweight I/O–network dynamics simulator.
+//
+// Typical use:
+//
+//	// 1. Profile the path with a short random-threads run.
+//	profile, _ := automdt.Probe(runner, seed)
+//
+//	// 2. Train the agent offline against the fitted simulator
+//	//    (~45 minutes at paper fidelity; seconds with small nets).
+//	sys, _ := automdt.Train(profile, automdt.Options{})
+//
+//	// 3. Drive a real transfer with the trained controller.
+//	res, _ := automdt.LoopbackTransfer(ctx, cfg, manifest, src, dst, sys.Controller())
+//
+// See examples/ for runnable programs and cmd/automdt-bench for the
+// harness that regenerates the paper's tables and figures.
+package automdt
+
+import (
+	"context"
+	"math/rand"
+
+	"automdt/internal/core"
+	"automdt/internal/env"
+	"automdt/internal/fsim"
+	"automdt/internal/marlin"
+	"automdt/internal/probe"
+	"automdt/internal/rl"
+	"automdt/internal/static"
+	"automdt/internal/transfer"
+	"automdt/internal/workload"
+)
+
+// Re-exported configuration and result types.
+type (
+	// TransferConfig parameterizes the live transfer engine.
+	TransferConfig = transfer.Config
+	// Shaping holds the emulated testbed rate caps (Mbps).
+	Shaping = transfer.Shaping
+	// TransferResult summarizes a completed transfer with traces.
+	TransferResult = transfer.Result
+	// Manifest lists the files of a dataset.
+	Manifest = workload.Manifest
+	// File is one manifest entry.
+	File = workload.File
+	// Options configures offline training.
+	Options = core.Options
+	// System is a trained AutoMDT deployment.
+	System = core.System
+	// Profile is the result of the exploration and logging phase.
+	Profile = probe.Profile
+	// Controller decides concurrency from observed transfer state.
+	Controller = env.Controller
+	// State is the observed transfer state handed to controllers.
+	State = env.State
+	// Action is a concurrency tuple.
+	Action = env.Action
+	// Store is an offset-addressable file container.
+	Store = fsim.Store
+	// ProbeRunner executes one probe interval at a given concurrency.
+	ProbeRunner = probe.Runner
+	// ProbeOptions configures the exploration phase.
+	ProbeOptions = probe.Options
+	// NetConfig sizes the agent's policy and value networks.
+	NetConfig = rl.NetConfig
+	// TrainConfig parameterizes Algorithm 2.
+	TrainConfig = rl.TrainConfig
+)
+
+// DefaultK is the paper's utility penalty base (1.02).
+const DefaultK = env.DefaultK
+
+// Probe runs the §IV-A exploration-and-logging phase against r (600
+// one-second random-threads measurements, as in the paper) and returns
+// the fitted profile.
+func Probe(r ProbeRunner, seed int64) (*Profile, error) {
+	return probe.Explore(r, rand.New(rand.NewSource(seed)), probe.Options{})
+}
+
+// ProbeWith is Probe with explicit options.
+func ProbeWith(r ProbeRunner, seed int64, opts probe.Options) (*Profile, error) {
+	return probe.Explore(r, rand.New(rand.NewSource(seed)), opts)
+}
+
+// Train fits the offline dynamics simulator to the profile and trains a
+// PPO agent against it (Fig. 2 / Algorithm 2).
+func Train(p *Profile, opts Options) (*System, error) { return core.Train(p, opts) }
+
+// LoopbackTransfer runs a complete sender→receiver transfer in-process
+// over loopback TCP — the quickest way to exercise the full engine.
+func LoopbackTransfer(ctx context.Context, cfg TransferConfig, m Manifest,
+	src, dst Store, ctrl Controller) (*TransferResult, error) {
+	return transfer.Loopback(ctx, cfg, m, src, dst, ctrl)
+}
+
+// NewReceiver creates a destination-side engine writing into store. Call
+// Listen then Serve.
+func NewReceiver(cfg TransferConfig, store Store) *transfer.Receiver {
+	return transfer.NewReceiver(cfg, store)
+}
+
+// NewSender creates a source-side engine reading from store under the
+// given controller (nil keeps the initial concurrency fixed).
+func NewSender(cfg TransferConfig, store Store, m Manifest, ctrl Controller) *transfer.Sender {
+	return &transfer.Sender{Cfg: cfg, Store: store, Manifest: m, Controller: ctrl}
+}
+
+// NewSyntheticStore returns a store serving deterministic synthetic
+// content, for testbed-style runs without disk.
+func NewSyntheticStore() *fsim.SyntheticStore { return fsim.NewSyntheticStore() }
+
+// NewDirStore returns a store over a real directory.
+func NewDirStore(root string) (*fsim.DirStore, error) { return fsim.NewDirStore(root) }
+
+// LargeFiles builds a count×size uniform dataset (the paper's Dataset A
+// shape).
+func LargeFiles(count int, size int64) Manifest { return workload.LargeFiles(count, size) }
+
+// MixedFiles builds a log-uniform mixed dataset (the paper's Dataset B
+// shape).
+func MixedFiles(totalBytes, minSize, maxSize int64, seed int64) Manifest {
+	return workload.Mixed(totalBytes, minSize, maxSize, rand.New(rand.NewSource(seed)))
+}
+
+// Marlin returns the Marlin baseline controller (three independent
+// single-variable hill climbers).
+func Marlin() Controller { return marlin.New() }
+
+// Static returns the Globus-like fixed-concurrency monolithic baseline.
+func Static(concurrency int) Controller { return static.New(concurrency) }

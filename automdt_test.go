@@ -1,0 +1,110 @@
+package automdt
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"automdt/internal/probe"
+	"automdt/internal/sim"
+)
+
+// The facade's end-to-end happy path: probe an emulated path, train a
+// tiny agent, and run a live loopback transfer under its control.
+func TestFacadePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	path := sim.Config{
+		TPT:            [3]float64{200, 100, 250},
+		Bandwidth:      [3]float64{800, 800, 800},
+		SenderBufCap:   400,
+		ReceiverBufCap: 400,
+		ChunkMb:        8,
+	}
+	prof, err := ProbeWith(probe.SimRunner{Sim: sim.New(path)}, 5,
+		ProbeOptions{Steps: 200, MaxThreads: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Train(prof, Options{
+		MaxThreads: 16,
+		Net:        NetConfig{Hidden: 32, PolicyBlocks: 1, ValueBlocks: 1},
+		Train: TrainConfig{
+			Episodes: 400, LR: 1e-3, UpdateEpochs: 4,
+			StagnantLimit: 1 << 30, EntropyCoef: 0.01,
+		},
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := TransferConfig{
+		ChunkBytes:     128 << 10,
+		MaxThreads:     16,
+		InitialThreads: 1,
+		ProbeInterval:  80 * time.Millisecond,
+		Shaping: Shaping{
+			ReadPerThreadMbps:  200,
+			NetPerStreamMbps:   100,
+			WritePerThreadMbps: 250,
+			LinkMbps:           800,
+		},
+	}
+	src := NewSyntheticStore()
+	dst := NewSyntheticStore()
+	dst.Verify = true
+	m := LargeFiles(8, 2<<20)
+	res, err := LoopbackTransfer(context.Background(), cfg, m, src, dst, sys.Controller())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != m.TotalBytes() {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+	if len(dst.Errors()) != 0 {
+		t.Fatalf("corruption: %v", dst.Errors()[0])
+	}
+	if res.Controller != "automdt" {
+		t.Fatalf("controller %q", res.Controller)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	if Marlin().Name() != "marlin" {
+		t.Fatal("marlin factory broken")
+	}
+	if Static(4).Name() != "static" {
+		t.Fatal("static factory broken")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	m := LargeFiles(3, 100)
+	if len(m) != 3 || m.TotalBytes() != 300 {
+		t.Fatalf("LargeFiles: %v", m)
+	}
+	mix := MixedFiles(1<<20, 1<<10, 64<<10, 1)
+	if mix.TotalBytes() != 1<<20 {
+		t.Fatalf("MixedFiles total %d", mix.TotalBytes())
+	}
+}
+
+func TestFacadeStores(t *testing.T) {
+	s := NewSyntheticStore()
+	r, err := s.Open("x", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	d, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := d.Create("f", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+}

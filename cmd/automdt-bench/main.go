@@ -1,0 +1,147 @@
+// Command automdt-bench regenerates the paper's evaluation artifacts
+// (Fig. 3, Fig. 4, Fig. 5, Table I, and the ablations) against the
+// emulated testbeds.
+//
+// Usage:
+//
+//	automdt-bench -exp all                 # everything, quick fidelity
+//	automdt-bench -exp fig3 -mode paper    # one experiment, full fidelity
+//
+// Experiments: fig3, fig4, fig5-read, fig5-network, fig5-write, table1,
+// finetune, adaptation, ablation-joint, ablation-k, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"automdt/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run")
+	modeStr := flag.String("mode", "quick", "fidelity: quick or paper")
+	csvDir := flag.String("csv", "", "directory to write per-experiment trace CSVs (optional)")
+	flag.Parse()
+
+	mode := experiments.Quick
+	if *modeStr == "paper" {
+		mode = experiments.Paper
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("\n########## %s ##########\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	writeCSV := func(name string, content string) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		path := *csvDir + "/" + name + ".csv"
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		fmt.Printf("[wrote %s]\n", path)
+	}
+	compareCSV := func(name string, r *experiments.CompareResult) {
+		writeCSV(name+"-automdt", r.Auto.Run.Rec.CSV())
+		writeCSV(name+"-marlin", r.Marlin.Run.Rec.CSV())
+	}
+
+	run("fig3", func() error {
+		r, err := experiments.Fig3(mode)
+		if err != nil {
+			return err
+		}
+		experiments.PrintCompare(os.Stdout, r)
+		compareCSV("fig3", r)
+		return nil
+	})
+	run("fig4", func() error {
+		r, err := experiments.Fig4(mode)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig4(os.Stdout, r)
+		return nil
+	})
+	for name, f := range map[string]func(experiments.Mode) (*experiments.CompareResult, error){
+		"fig5-read":    experiments.Fig5Read,
+		"fig5-network": experiments.Fig5Network,
+		"fig5-write":   experiments.Fig5Write,
+	} {
+		name, f := name, f
+		run(name, func() error {
+			r, err := f(mode)
+			if err != nil {
+				return err
+			}
+			experiments.PrintCompare(os.Stdout, r)
+			compareCSV(name, r)
+			return nil
+		})
+	}
+	run("table1", func() error {
+		r, err := experiments.Table1(mode)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable1(os.Stdout, r)
+		return nil
+	})
+	run("finetune", func() error {
+		r, err := experiments.FineTune(mode, 120)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("offline model:    %.1f mean total threads at %.0f Mbps\n",
+			r.BaseMeanThreads, r.BaseMbps)
+		fmt.Printf("fine-tuned model: %.1f mean total threads at %.0f Mbps\n",
+			r.TunedMeanThreads, r.TunedMbps)
+		fmt.Printf("concurrency change: %+.1f%% at %+.1f%% speed\n",
+			100*(r.TunedMeanThreads-r.BaseMeanThreads)/r.BaseMeanThreads,
+			100*(r.TunedMbps-r.BaseMbps)/r.BaseMbps)
+		return nil
+	})
+	run("ablation-joint", func() error {
+		r, err := experiments.AblationJoint(mode)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("AutoMDT  %7.0f Mbps\nMarlin   %7.0f Mbps\nJoint-GD %7.0f Mbps (stuck below 90%% of AutoMDT: %v)\n",
+			r.AutoMbps, r.MarlinMbps, r.JointMbps, r.JointStuck)
+		return nil
+	})
+	run("adaptation", func() error {
+		r, err := experiments.Adaptation(mode)
+		if err != nil {
+			return err
+		}
+		experiments.PrintAdaptation(os.Stdout, r)
+		return nil
+	})
+	run("ablation-k", func() error {
+		rows := experiments.KSweep([]float64{1.001, 1.005, 1.01, 1.02, 1.05, 1.1, 1.2})
+		fmt.Printf("%-8s %-14s %-8s %s\n", "k", "best ⟨r,n,w⟩", "threads", "Mbps")
+		for _, r := range rows {
+			fmt.Printf("%-8.3f %-14v %-8d %.0f\n", r.K, r.BestThreads, r.TotalThreads, r.Mbps)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,81 @@
+// Command automdt-train runs AutoMDT's offline pipeline (Fig. 2):
+// exploration and logging against an emulated testbed, simulator fitting,
+// and PPO training, then writes the agent checkpoint and the probed
+// profile to disk for automdt-xfer to load.
+//
+// Usage:
+//
+//	automdt-train -testbed wan -out model.ckpt -profile profile.json
+//	automdt-train -testbed read -mode paper   # full 256-wide training
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"automdt/internal/experiments"
+)
+
+func main() {
+	testbed := flag.String("testbed", "read", "emulated testbed: read, network, write, wan")
+	modeStr := flag.String("mode", "quick", "fidelity: quick or paper")
+	out := flag.String("out", "automdt-model.ckpt", "agent checkpoint output path")
+	profileOut := flag.String("profile", "automdt-profile.json", "probed profile output path")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	tbs := map[string]experiments.Testbed{
+		"read":    experiments.ReadBottleneck(),
+		"network": experiments.NetworkBottleneck(),
+		"write":   experiments.WriteBottleneck(),
+		"wan":     experiments.Wan(),
+	}
+	tb, ok := tbs[*testbed]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown testbed %q (want read, network, write, or wan)\n", *testbed)
+		os.Exit(2)
+	}
+	mode := experiments.Quick
+	if *modeStr == "paper" {
+		mode = experiments.Paper
+	}
+
+	fmt.Printf("probing and training on %s (mode=%s)...\n", tb.Name, *modeStr)
+	start := time.Now()
+	sys, err := experiments.TrainedSystem(tb, mode, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	dur := time.Since(start)
+
+	fmt.Printf("profile: %s\n", sys.Profile)
+	if tr := sys.TrainResult; tr != nil {
+		fmt.Printf("training: %d episodes in %v (converged=%v at episode %d, best reward %.0f)\n",
+			tr.Episodes, dur.Round(time.Second), tr.Converged, tr.ConvergedAt, tr.BestReward)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := sys.SaveAgent(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f.Close()
+	pj, err := json.MarshalIndent(sys.Profile, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*profileOut, pj, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s and %s\n", *out, *profileOut)
+}

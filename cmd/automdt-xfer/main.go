@@ -1,0 +1,204 @@
+// Command automdt-xfer runs a real sender/receiver transfer over TCP with
+// a pluggable optimizer — the production phase of §IV-F.
+//
+// Receiver (destination DTN):
+//
+//	automdt-xfer recv -data :9000 -ctrl :9001 -dir /staging/dst
+//
+// Sender (source DTN):
+//
+//	automdt-xfer send -data host:9000 -ctrl host:9001 \
+//	    -files 100 -size 8388608 -optimizer marlin
+//
+// With -optimizer automdt, pass -model and -profile written by
+// automdt-train. Use -dir on the sender to transfer a real directory
+// instead of synthetic files.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"automdt/internal/core"
+	"automdt/internal/env"
+	"automdt/internal/fsim"
+	"automdt/internal/marlin"
+	"automdt/internal/probe"
+	"automdt/internal/rl"
+	"automdt/internal/static"
+	"automdt/internal/transfer"
+	"automdt/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "recv":
+		recv(os.Args[2:])
+	case "send":
+		send(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: automdt-xfer {recv|send} [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func engineConfig(fs *flag.FlagSet) *transfer.Config {
+	cfg := &transfer.Config{}
+	fs.IntVar(&cfg.ChunkBytes, "chunk", 256<<10, "chunk size in bytes")
+	fs.Int64Var(&cfg.SenderBufBytes, "sendbuf", 64<<20, "sender staging bytes")
+	fs.Int64Var(&cfg.ReceiverBufBytes, "recvbuf", 64<<20, "receiver staging bytes")
+	fs.IntVar(&cfg.MaxThreads, "maxthreads", 32, "per-stage concurrency bound")
+	fs.DurationVar(&cfg.ProbeInterval, "interval", 250*time.Millisecond, "probe interval")
+	fs.IntVar(&cfg.InitialThreads, "initial", 1, "initial concurrency")
+	fs.Float64Var(&cfg.Shaping.ReadPerThreadMbps, "cap-read", 0, "per-thread read cap (Mbps, 0=off)")
+	fs.Float64Var(&cfg.Shaping.NetPerStreamMbps, "cap-net", 0, "per-stream network cap (Mbps, 0=off)")
+	fs.Float64Var(&cfg.Shaping.WritePerThreadMbps, "cap-write", 0, "per-thread write cap (Mbps, 0=off)")
+	fs.Float64Var(&cfg.Shaping.LinkMbps, "cap-link", 0, "aggregate link cap (Mbps, 0=off)")
+	return cfg
+}
+
+func recv(args []string) {
+	fs := flag.NewFlagSet("recv", flag.ExitOnError)
+	data := fs.String("data", ":9000", "data listen address")
+	ctrl := fs.String("ctrl", ":9001", "control listen address")
+	dir := fs.String("dir", "", "destination directory (empty = synthetic sink)")
+	verify := fs.Bool("verify", false, "verify synthetic content (synthetic sink only)")
+	cfg := engineConfig(fs)
+	fs.Parse(args)
+
+	var store fsim.Store
+	if *dir != "" {
+		ds, err := fsim.NewDirStore(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		store = ds
+	} else {
+		ss := fsim.NewSyntheticStore()
+		ss.Verify = *verify
+		store = ss
+	}
+	r := transfer.NewReceiver(*cfg, store)
+	if err := r.Listen(*data, *ctrl); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("receiving: data %s, control %s\n", r.DataAddr(), r.CtrlAddr())
+	if err := r.Serve(context.Background()); err != nil {
+		fatal(err)
+	}
+	fmt.Println("transfer complete")
+}
+
+func send(args []string) {
+	fs := flag.NewFlagSet("send", flag.ExitOnError)
+	data := fs.String("data", "127.0.0.1:9000", "receiver data address")
+	ctrl := fs.String("ctrl", "127.0.0.1:9001", "receiver control address")
+	dir := fs.String("dir", "", "source directory (empty = synthetic files)")
+	files := fs.Int("files", 16, "synthetic file count")
+	size := fs.Int64("size", 8<<20, "synthetic file size in bytes")
+	opt := fs.String("optimizer", "static", "optimizer: static, marlin, automdt, none")
+	cc := fs.Int("cc", 4, "static concurrency")
+	model := fs.String("model", "", "automdt agent checkpoint (from automdt-train)")
+	profilePath := fs.String("profile", "", "automdt probed profile JSON (from automdt-train)")
+	cfg := engineConfig(fs)
+	fs.Parse(args)
+
+	var store fsim.Store
+	var manifest workload.Manifest
+	if *dir != "" {
+		ds, err := fsim.NewDirStore(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		store = ds
+		m, err := manifestFromDir(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		manifest = m
+	} else {
+		store = fsim.NewSyntheticStore()
+		manifest = workload.LargeFiles(*files, *size)
+	}
+
+	var controller env.Controller
+	switch *opt {
+	case "none":
+	case "static":
+		controller = static.New(*cc)
+	case "marlin":
+		controller = marlin.New()
+	case "automdt":
+		if *model == "" || *profilePath == "" {
+			fatal(fmt.Errorf("automdt optimizer needs -model and -profile"))
+		}
+		pj, err := os.ReadFile(*profilePath)
+		if err != nil {
+			fatal(err)
+		}
+		var p probe.Profile
+		if err := json.Unmarshal(pj, &p); err != nil {
+			fatal(err)
+		}
+		f, err := os.Open(*model)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		// The checkpoint architecture must match; quick-mode training
+		// (the automdt-train default) uses the small network.
+		sys, err := core.LoadSystem(f, &p, core.Options{
+			MaxThreads: cfg.MaxThreads,
+			Net:        rl.NetConfig{Hidden: 32, PolicyBlocks: 1, ValueBlocks: 1},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		controller = sys.Controller()
+	default:
+		fatal(fmt.Errorf("unknown optimizer %q", *opt))
+	}
+
+	s := &transfer.Sender{Cfg: *cfg, Store: store, Manifest: manifest, Controller: controller}
+	fmt.Printf("sending %d files (%d bytes) via %s optimizer...\n",
+		len(manifest), manifest.TotalBytes(), *opt)
+	res, err := s.Run(context.Background(), *data, *ctrl)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("done: %d bytes in %v (%.0f Mbps)\n", res.Bytes, res.Duration.Round(time.Millisecond), res.AvgMbps)
+}
+
+// manifestFromDir lists regular files under root, relative to it.
+func manifestFromDir(root string) (workload.Manifest, error) {
+	var m workload.Manifest
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		m = append(m, workload.File{Name: rel, Size: info.Size()})
+		return nil
+	})
+	return m, err
+}

@@ -1,0 +1,91 @@
+// Offline training walkthrough: the Fig. 2 pipeline in slow motion.
+// Probes an emulated testbed with the random-threads run, fits the
+// dynamics simulator, trains the PPO agent, and prints the learning
+// curve, the convergence bookkeeping of Algorithm 2, and the final
+// policy's behaviour at a few states.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"automdt"
+	"automdt/internal/env"
+	"automdt/internal/metrics"
+	"automdt/internal/probe"
+	"automdt/internal/sim"
+)
+
+func main() {
+	// Emulated testbed: network is the bottleneck (75 Mbps per stream on
+	// a 1 Gbps link → 14 streams needed; read/write need ~5).
+	testbed := sim.Config{
+		TPT:            [3]float64{205, 75, 195},
+		Bandwidth:      [3]float64{1000, 1000, 1000},
+		SenderBufCap:   500,
+		ReceiverBufCap: 500,
+		ChunkMb:        8,
+	}
+
+	// Exploration and logging (§IV-A).
+	prof, err := automdt.ProbeWith(probe.SimRunner{Sim: sim.New(testbed)}, 11,
+		automdt.ProbeOptions{Steps: 300, MaxThreads: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("probe phase:")
+	fmt.Printf("  bandwidths  B = [%.0f %.0f %.0f] Mbps\n", prof.B[0], prof.B[1], prof.B[2])
+	fmt.Printf("  per-thread  TPT = [%.1f %.1f %.1f] Mbps\n", prof.TPT[0], prof.TPT[1], prof.TPT[2])
+	fmt.Printf("  bottleneck  b = %.0f Mbps, n* = %v, Rmax = %.0f\n",
+		prof.Bottleneck, prof.NStar, prof.Rmax)
+
+	// Offline PPO training (Algorithm 2) against the fitted simulator.
+	fmt.Println("\ntraining (Algorithm 2)...")
+	sys, err := automdt.Train(prof, automdt.Options{
+		MaxThreads: 20,
+		Net:        automdt.NetConfig{Hidden: 32, PolicyBlocks: 1, ValueBlocks: 1},
+		Train: automdt.TrainConfig{
+			Episodes: 1500, LR: 1e-3, UpdateEpochs: 4,
+			StagnantLimit: 300, EntropyCoef: 0.01,
+		},
+		Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := sys.TrainResult
+	fmt.Printf("  episodes run: %d (cap %d)\n", tr.Episodes, 1500)
+	fmt.Printf("  converged: %v (90%% of Rmax first reached at episode %d)\n",
+		tr.Converged, tr.ConvergedAt)
+	fmt.Printf("  best episode reward: %.0f (theoretical max %.0f)\n",
+		tr.BestReward, 10*prof.Rmax)
+	fmt.Println("\n  learning curve (mean episode reward per 10% block):")
+	n := len(tr.EpisodeRewards)
+	for i := 0; i < 10 && n >= 10; i++ {
+		block := tr.EpisodeRewards[i*n/10 : (i+1)*n/10]
+		fmt.Printf("    %3d%%  %8.0f\n", (i+1)*10, metrics.Summarize(block).Mean)
+	}
+
+	// Inspect the learned policy: what does it do at an empty-buffer
+	// state versus a congested one?
+	fmt.Println("\nlearned policy behaviour:")
+	e := env.NewSimEnv(sim.New(testbed), rand.New(rand.NewSource(3)))
+	e.MaxThreadsN = 20
+	ctrl := sys.Controller()
+	for _, tc := range []struct {
+		name  string
+		state env.State
+	}{
+		{"cold start (buffers empty)", env.State{
+			Threads: [3]int{1, 1, 1}, Throughput: [3]float64{200, 75, 75},
+			SenderFree: 500, ReceiverFree: 500}},
+		{"sender staging full", env.State{
+			Threads: [3]int{10, 5, 5}, Throughput: [3]float64{400, 375, 375},
+			SenderFree: 0, ReceiverFree: 300}},
+	} {
+		act := ctrl.Decide(tc.state)
+		fmt.Printf("  %-28s → n = %v\n", tc.name, act.Threads)
+	}
+	fmt.Printf("\n(optimal for this testbed: %v)\n", prof.NStar)
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"automdt/internal/env"
+	"automdt/internal/metrics"
+	"automdt/internal/sim"
+)
+
+// SimTransfer describes a finite transfer executed against the
+// event-driven dynamics simulator under a pluggable controller. It is the
+// deterministic, instant-turnaround counterpart of the live loopback
+// engine, and is what regenerates the paper's figure traces (Fig. 3 and
+// Fig. 5) without waiting out real seconds.
+type SimTransfer struct {
+	// Cfg is the ground-truth testbed (per-stream caps, bandwidths,
+	// staging capacities).
+	Cfg sim.Config
+	// Controller drives the concurrency tuple each simulated second.
+	Controller env.Controller
+	// TotalMb is the dataset volume in megabits.
+	TotalMb float64
+	// MaxTicks caps the simulated duration in seconds (default 3600).
+	MaxTicks int
+	// InitialThreads is the starting concurrency (default 1).
+	InitialThreads int
+	// MaxThreads clamps controller decisions (default 32).
+	MaxThreads int
+	// OnTick, if non-nil, runs before each simulated second with the
+	// 1-based tick index and the live simulator — the hook used to
+	// inject mid-transfer condition changes (background traffic,
+	// re-throttles) for adaptation experiments.
+	OnTick func(tick int, s *sim.Simulator)
+}
+
+// SimTransferResult reports a simulated transfer.
+type SimTransferResult struct {
+	// Rec holds per-second traces: cc_read, cc_net, cc_write, thr_read,
+	// thr_net, thr_write, thr_e2e.
+	Rec *metrics.Recorder
+	// Ticks is the simulated duration in seconds.
+	Ticks int
+	// Completed reports whether TotalMb was fully written within
+	// MaxTicks.
+	Completed bool
+	// AvgMbps is the end-to-end goodput (TotalMb / Ticks) when
+	// completed, or written/Ticks otherwise.
+	AvgMbps float64
+	// WrittenMb is the volume flushed to the destination store.
+	WrittenMb float64
+}
+
+// Run executes the simulated transfer.
+func (st *SimTransfer) Run() *SimTransferResult {
+	maxTicks := st.MaxTicks
+	if maxTicks <= 0 {
+		maxTicks = 3600
+	}
+	maxThreads := st.MaxThreads
+	if maxThreads <= 0 {
+		maxThreads = 32
+	}
+	n := st.InitialThreads
+	if n <= 0 {
+		n = 1
+	}
+	threads := [3]int{n, n, n}
+
+	s := sim.New(st.Cfg)
+	rec := metrics.NewRecorder()
+	written := 0.0
+	ticks := 0
+	for ticks < maxTicks && written < st.TotalMb {
+		if st.OnTick != nil {
+			st.OnTick(ticks+1, s)
+		}
+		res := s.Step(threads[0], threads[1], threads[2])
+		ticks++
+		written += res.Throughput[sim.Write]
+		t := float64(ticks)
+		rec.Series("cc_read").Record(t, float64(threads[0]))
+		rec.Series("cc_net").Record(t, float64(threads[1]))
+		rec.Series("cc_write").Record(t, float64(threads[2]))
+		rec.Series("thr_read").Record(t, res.Throughput[sim.Read])
+		rec.Series("thr_net").Record(t, res.Throughput[sim.Network])
+		rec.Series("thr_write").Record(t, res.Throughput[sim.Write])
+		rec.Series("thr_e2e").Record(t, res.Throughput[sim.Write])
+
+		if st.Controller != nil {
+			state := env.State{
+				Threads:      threads,
+				Throughput:   res.Throughput,
+				SenderFree:   res.SenderBufFree,
+				ReceiverFree: res.ReceiverBufFree,
+			}
+			act := st.Controller.Decide(state).Clamp(maxThreads)
+			threads = act.Threads
+		}
+	}
+	out := &SimTransferResult{
+		Rec:       rec,
+		Ticks:     ticks,
+		Completed: written >= st.TotalMb,
+		WrittenMb: written,
+	}
+	if ticks > 0 {
+		out.AvgMbps = written / float64(ticks)
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+// Package env defines the reinforcement-learning environment that
+// AutoMDT's PPO agent interacts with: the state space (thread counts,
+// per-stage throughputs, and free staging-buffer space at both ends,
+// §IV-D-1), the action space (the concurrency tuple ⟨n_r, n_n, n_w⟩,
+// §IV-D-2), and the utility-function reward of §IV-B:
+//
+//	U = t_r/k^{n_r} + t_n/k^{n_n} + t_w/k^{n_w},  k = 1.02
+//
+// The same Environment interface is implemented by the offline simulator
+// (SimEnv, used for training) and by the live transfer engine
+// (internal/core wraps the engine in the production phase), which is what
+// lets a simulator-trained checkpoint drive a real transfer unchanged.
+package env
+
+import (
+	"math"
+	"math/rand"
+
+	"automdt/internal/sim"
+)
+
+// DefaultK is the utility penalty base fixed by the paper's link sweep.
+const DefaultK = 1.02
+
+// StateDim is the size of the observation vector:
+// 3 thread counts, 3 throughputs, 2 free-buffer amounts.
+const StateDim = 8
+
+// ActionDim is the size of the action vector: one concurrency value per
+// stage.
+const ActionDim = 3
+
+// State is the observation handed to the agent.
+type State struct {
+	Threads      [3]int     // current ⟨n_r, n_n, n_w⟩
+	Throughput   [3]float64 // last-second ⟨t_r, t_n, t_w⟩ in Mbps
+	SenderFree   float64    // unused sender staging space, Mb
+	ReceiverFree float64    // unused receiver staging space, Mb
+}
+
+// Vector flattens the state, normalizing by the given scales so network
+// inputs are O(1): thread counts by maxThreads, throughputs by rateScale,
+// buffer space by bufScale.
+func (s State) Vector(maxThreads int, rateScale, bufScale float64) []float64 {
+	v := make([]float64, 0, StateDim)
+	for i := 0; i < 3; i++ {
+		v = append(v, float64(s.Threads[i])/float64(maxThreads))
+	}
+	for i := 0; i < 3; i++ {
+		v = append(v, s.Throughput[i]/rateScale)
+	}
+	v = append(v, s.SenderFree/bufScale, s.ReceiverFree/bufScale)
+	return v
+}
+
+// Action is the concurrency tuple chosen by the agent.
+type Action struct {
+	Threads [3]int
+}
+
+// Clamp limits each component to [1, maxThreads] (§IV-F).
+func (a Action) Clamp(maxThreads int) Action {
+	for i := range a.Threads {
+		if a.Threads[i] < 1 {
+			a.Threads[i] = 1
+		}
+		if a.Threads[i] > maxThreads {
+			a.Threads[i] = maxThreads
+		}
+	}
+	return a
+}
+
+// FromContinuous rounds a raw policy sample to an integer action,
+// matching §IV-F: round then clamp.
+func FromContinuous(raw []float64, maxThreads int) Action {
+	var a Action
+	for i := 0; i < 3 && i < len(raw); i++ {
+		a.Threads[i] = int(math.Round(raw[i]))
+	}
+	return a.Clamp(maxThreads)
+}
+
+// Utility computes the paper's reward: Σ tᵢ/k^{nᵢ}. Throughputs are in
+// Mbps; higher concurrency is exponentially penalized.
+func Utility(t [3]float64, n [3]int, k float64) float64 {
+	u := 0.0
+	for i := 0; i < 3; i++ {
+		u += t[i] / math.Pow(k, float64(n[i]))
+	}
+	return u
+}
+
+// Controller decides the next concurrency tuple from the latest observed
+// transfer state. It is the engine-facing abstraction implemented by the
+// AutoMDT agent (internal/core), the Marlin baseline (internal/marlin),
+// and the static Globus-like baseline (internal/static).
+type Controller interface {
+	// Name identifies the optimizer in traces and reports.
+	Name() string
+	// Decide maps the observed state to the concurrency tuple to apply
+	// for the next interval.
+	Decide(State) Action
+}
+
+// Environment is the PPO-facing interface (E in Algorithm 2).
+type Environment interface {
+	// Reset starts a new episode and returns the initial state.
+	Reset() State
+	// Step applies the action, advances one interval, and returns the
+	// new state and the utility reward.
+	Step(Action) (State, float64)
+	// MaxThreads is the per-stage concurrency bound n_max.
+	MaxThreads() int
+	// Scales returns normalization constants for State.Vector.
+	Scales() (rateScale, bufScale float64)
+}
+
+// SimEnv adapts the Algorithm 1 simulator to the Environment interface,
+// with randomized episode initialization: Reset draws fresh random thread
+// counts (the paper resets each episode "with a new set of randomly
+// initialized threads") and random staging occupancies.
+type SimEnv struct {
+	Sim *sim.Simulator
+	// K is the utility penalty base; DefaultK if zero.
+	K float64
+	// MaxThreadsN bounds each concurrency value; 32 if zero.
+	MaxThreadsN int
+	// Rand drives episode randomization.
+	Rand *rand.Rand
+
+	cur State
+}
+
+// NewSimEnv builds a simulator-backed environment.
+func NewSimEnv(s *sim.Simulator, rng *rand.Rand) *SimEnv {
+	return &SimEnv{Sim: s, K: DefaultK, MaxThreadsN: 32, Rand: rng}
+}
+
+// MaxThreads implements Environment.
+func (e *SimEnv) MaxThreads() int {
+	if e.MaxThreadsN <= 0 {
+		return 32
+	}
+	return e.MaxThreadsN
+}
+
+func (e *SimEnv) k() float64 {
+	if e.K <= 0 {
+		return DefaultK
+	}
+	return e.K
+}
+
+// Scales implements Environment. Rates are scaled by the smallest
+// aggregate stage capacity (the end-to-end bottleneck), buffers by the
+// sender capacity.
+func (e *SimEnv) Scales() (rateScale, bufScale float64) {
+	cfg := e.Sim.Config()
+	rateScale = math.Inf(1)
+	for i := sim.Read; i <= sim.Write; i++ {
+		agg := cfg.TPT[i] * float64(e.MaxThreads())
+		if cfg.Bandwidth[i] > 0 {
+			agg = math.Min(agg, cfg.Bandwidth[i])
+		}
+		rateScale = math.Min(rateScale, agg)
+	}
+	if math.IsInf(rateScale, 1) || rateScale <= 0 {
+		rateScale = 1
+	}
+	return rateScale, cfg.SenderBufCap
+}
+
+// Reset implements Environment.
+func (e *SimEnv) Reset() State {
+	e.Sim.Reset()
+	cfg := e.Sim.Config()
+	if e.Rand != nil {
+		e.Sim.SetBuffers(
+			e.Rand.Float64()*cfg.SenderBufCap,
+			e.Rand.Float64()*cfg.ReceiverBufCap,
+		)
+	}
+	var threads [3]int
+	for i := range threads {
+		threads[i] = 1
+		if e.Rand != nil {
+			threads[i] = 1 + e.Rand.Intn(e.MaxThreads())
+		}
+	}
+	// Run one settling step so the initial state carries real
+	// throughput/buffer signals.
+	res := e.Sim.Step(threads[0], threads[1], threads[2])
+	e.cur = State{
+		Threads:      threads,
+		Throughput:   res.Throughput,
+		SenderFree:   res.SenderBufFree,
+		ReceiverFree: res.ReceiverBufFree,
+	}
+	return e.cur
+}
+
+// Step implements Environment.
+func (e *SimEnv) Step(a Action) (State, float64) {
+	a = a.Clamp(e.MaxThreads())
+	res := e.Sim.Step(a.Threads[0], a.Threads[1], a.Threads[2])
+	e.cur = State{
+		Threads:      a.Threads,
+		Throughput:   res.Throughput,
+		SenderFree:   res.SenderBufFree,
+		ReceiverFree: res.ReceiverBufFree,
+	}
+	return e.cur, Utility(res.Throughput, a.Threads, e.k())
+}
+
+// TheoreticalMaxReward computes Rmax = b·(k^{-n*_r}+k^{-n*_n}+k^{-n*_w})
+// from the bottleneck rate and optimal thread counts (§IV-E), the
+// convergence yardstick for training.
+func TheoreticalMaxReward(bottleneck float64, nStar [3]int, k float64) float64 {
+	r := 0.0
+	for i := 0; i < 3; i++ {
+		r += bottleneck * math.Pow(k, -float64(nStar[i]))
+	}
+	return r
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdaptationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment skipped in -short mode")
+	}
+	res, err := Adaptation(testMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	byName := map[string]AdaptationRow{}
+	for _, r := range res.Rows {
+		byName[r.Name] = r
+	}
+	auto, static := byName["AutoMDT"], byName["Static cc=13"]
+
+	// The static configuration must lose throughput and never recover.
+	if static.PostMbps >= 0.8*static.PreMbps {
+		t.Fatalf("static should be degraded: pre %v post %v", static.PreMbps, static.PostMbps)
+	}
+	if static.RecoverySeconds >= 0 {
+		t.Fatal("static configuration cannot recover but did")
+	}
+	// AutoMDT must recover and end up clearly above the static baseline.
+	if auto.RecoverySeconds < 0 {
+		t.Fatal("AutoMDT never recovered")
+	}
+	if auto.PostMbps <= static.PostMbps {
+		t.Fatalf("AutoMDT post-change %v not above static %v", auto.PostMbps, static.PostMbps)
+	}
+
+	var b strings.Builder
+	PrintAdaptation(&b, res)
+	if !strings.Contains(b.String(), "AutoMDT") {
+		t.Fatal("printer output incomplete")
+	}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"automdt/internal/sim"
+)
+
+// Mode for tests honours AUTOMDT_MODE=paper for full-fidelity runs.
+func testMode() Mode {
+	if os.Getenv("AUTOMDT_MODE") == "paper" {
+		return Paper
+	}
+	return Quick
+}
+
+func TestTestbedConfigsValid(t *testing.T) {
+	for _, tb := range []Testbed{ReadBottleneck(), NetworkBottleneck(), WriteBottleneck(), Wan()} {
+		if err := tb.Cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", tb.Name, err)
+		}
+		// NStar must (nearly) saturate the bottleneck: nᵢ·TPTᵢ ≥ 95% of it
+		// (the paper rounds n* = b/TPT, e.g. 1000/195 → 5).
+		for i := 0; i < 3; i++ {
+			if got := float64(tb.NStar[i]) * tb.Cfg.TPT[i]; got < tb.Bottleneck*0.95 {
+				t.Fatalf("%s stage %d: n*·TPT = %.0f < bottleneck %.0f", tb.Name, i, got, tb.Bottleneck)
+			}
+			if tb.NStar[i] > tb.MaxThreads {
+				t.Fatalf("%s stage %d: n*=%d exceeds MaxThreads %d", tb.Name, i, tb.NStar[i], tb.MaxThreads)
+			}
+		}
+	}
+}
+
+func TestFig5ReadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment skipped in -short mode")
+	}
+	res, err := Fig5Read(testMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper shape: AutoMDT completes the transfer, faster than Marlin.
+	if !res.Auto.Run.Completed {
+		t.Fatal("AutoMDT did not complete")
+	}
+	if res.Marlin.Run.Completed && res.Marlin.Run.Ticks < res.Auto.Run.Ticks {
+		t.Fatalf("Marlin (%d s) beat AutoMDT (%d s): wrong shape", res.Marlin.Run.Ticks, res.Auto.Run.Ticks)
+	}
+	// AutoMDT reaches the target concurrency and does so before Marlin
+	// (the paper's 6 s vs 29 s claim, loosely).
+	if res.Auto.TimeToTarget < 0 {
+		t.Fatal("AutoMDT never reached target read concurrency")
+	}
+	if res.Marlin.TimeToTarget >= 0 && res.Marlin.TimeToTarget < res.Auto.TimeToTarget {
+		t.Fatalf("Marlin reached target first (%.0f s vs %.0f s)", res.Marlin.TimeToTarget, res.Auto.TimeToTarget)
+	}
+}
+
+func TestKSweepShape(t *testing.T) {
+	rows := KSweep([]float64{1.001, 1.02, 1.2})
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	// More aggressive penalty → no more total threads.
+	if rows[0].TotalThreads < rows[1].TotalThreads || rows[1].TotalThreads < rows[2].TotalThreads {
+		t.Fatalf("thread counts not monotone in k: %d %d %d",
+			rows[0].TotalThreads, rows[1].TotalThreads, rows[2].TotalThreads)
+	}
+	// k=1.02 keeps ≥85% of the gentle-k throughput with fewer threads.
+	if rows[1].Mbps < 0.85*rows[0].Mbps {
+		t.Fatalf("k=1.02 throughput %v too far below k=1.001's %v", rows[1].Mbps, rows[0].Mbps)
+	}
+	// Harsh penalty costs meaningful throughput (the trade-off exists).
+	if rows[2].Mbps > rows[0].Mbps {
+		t.Fatalf("k=1.2 should not beat k=1.001 (%v vs %v)", rows[2].Mbps, rows[0].Mbps)
+	}
+}
+
+func TestAblationJointShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment skipped in -short mode")
+	}
+	res, err := AblationJoint(testMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AutoMbps < res.JointMbps {
+		t.Fatalf("joint GD (%v) outperformed AutoMDT (%v): wrong shape", res.JointMbps, res.AutoMbps)
+	}
+	if math.IsNaN(res.MarlinMbps) {
+		t.Fatal("marlin result NaN")
+	}
+}
+
+func TestPrintersProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment skipped in -short mode")
+	}
+	res, err := Fig5Read(testMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	PrintCompare(&b, res)
+	out := b.String()
+	for _, want := range []string{"AutoMDT", "Marlin", "TCT", "concurrency trace"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("PrintCompare output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrainedSystemCaching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment skipped in -short mode")
+	}
+	tb := ReadBottleneck()
+	a, err := TrainedSystem(tb, testMode(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainedSystem(tb, testMode(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("TrainedSystem not cached")
+	}
+}
+
+func TestCompareTargetStageSeries(t *testing.T) {
+	// Smoke-check stage→series mapping used by runCompare.
+	for _, st := range []sim.Stage{sim.Read, sim.Network, sim.Write} {
+		name := map[sim.Stage]string{
+			sim.Read: "cc_read", sim.Network: "cc_net", sim.Write: "cc_write",
+		}[st]
+		if name == "" {
+			t.Fatalf("no series for stage %v", st)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V) against the emulated testbeds described in DESIGN.md:
+// Fig. 3 (AutoMDT vs Marlin on the NCSA→TACC-like link), Fig. 4
+// (continuous vs discrete action-space training curves), Fig. 5 (the
+// three bottleneck scenarios), Table I (end-to-end speed vs Globus and
+// Marlin), plus the §V-C fine-tuning experiment and the §III/§IV-B
+// ablations.
+package experiments
+
+import (
+	"math/rand"
+	"sync"
+
+	"automdt/internal/core"
+	"automdt/internal/env"
+	"automdt/internal/marlin"
+	"automdt/internal/probe"
+	"automdt/internal/rl"
+	"automdt/internal/sim"
+	"automdt/internal/static"
+)
+
+// Mode selects experiment fidelity.
+type Mode int
+
+const (
+	// Quick uses small networks and short training so the whole suite
+	// runs in seconds-to-minutes; the figures keep their shape.
+	Quick Mode = iota
+	// Paper uses the paper's architecture (256-wide residual networks)
+	// and episode budgets (tens of thousands); expect the ~45-minute
+	// training times the paper reports.
+	Paper
+)
+
+// Testbed is one emulated end-to-end path with a known optimal solution.
+type Testbed struct {
+	Name string
+	// Cfg is the ground-truth dynamics (per-stream caps in Mbps,
+	// aggregate bandwidths, staging capacities in Mb).
+	Cfg sim.Config
+	// MaxThreads bounds per-stage concurrency.
+	MaxThreads int
+	// NStar is the analytically optimal concurrency tuple.
+	NStar [3]int
+	// Bottleneck is the end-to-end capacity in Mbps.
+	Bottleneck float64
+}
+
+// ReadBottleneck is the §V-B-1 scenario: read threads throttled to
+// 80 Mbps, network 160, write 200, on a 1 Gbps link → optimum ⟨13,7,5⟩.
+func ReadBottleneck() Testbed {
+	return Testbed{
+		Name: "read-bottleneck",
+		Cfg: sim.Config{
+			TPT:            [3]float64{80, 160, 200},
+			Bandwidth:      [3]float64{1000, 1000, 1000},
+			SenderBufCap:   500,
+			ReceiverBufCap: 500,
+			ChunkMb:        8,
+		},
+		MaxThreads: 20,
+		NStar:      [3]int{13, 7, 5},
+		Bottleneck: 1000,
+	}
+}
+
+// NetworkBottleneck throttles streams to 205/75/195 Mbps → optimum
+// ⟨5,14,5⟩.
+func NetworkBottleneck() Testbed {
+	return Testbed{
+		Name: "network-bottleneck",
+		Cfg: sim.Config{
+			TPT:            [3]float64{205, 75, 195},
+			Bandwidth:      [3]float64{1000, 1000, 1000},
+			SenderBufCap:   500,
+			ReceiverBufCap: 500,
+			ChunkMb:        8,
+		},
+		MaxThreads: 20,
+		NStar:      [3]int{5, 14, 5},
+		Bottleneck: 1000,
+	}
+}
+
+// WriteBottleneck throttles streams to 200/150/70 Mbps → optimum ⟨5,7,15⟩.
+func WriteBottleneck() Testbed {
+	return Testbed{
+		Name: "write-bottleneck",
+		Cfg: sim.Config{
+			TPT:            [3]float64{200, 150, 70},
+			Bandwidth:      [3]float64{1000, 1000, 1000},
+			SenderBufCap:   500,
+			ReceiverBufCap: 500,
+			ChunkMb:        8,
+		},
+		MaxThreads: 20,
+		NStar:      [3]int{5, 7, 15},
+		Bottleneck: 1000,
+	}
+}
+
+// Wan is the NCSA→TACC-like high-bandwidth path used for Fig. 3 and
+// Table I: a 25 Gbps link with per-stream network throttling at 1 Gbps
+// (so ~25 network streams saturate it) and faster per-thread I/O.
+func Wan() Testbed {
+	return Testbed{
+		Name: "wan-ncsa-tacc",
+		Cfg: sim.Config{
+			TPT:            [3]float64{2800, 1250, 2400},
+			Bandwidth:      [3]float64{26000, 25000, 26000},
+			SenderBufCap:   12000,
+			ReceiverBufCap: 12000,
+			ChunkMb:        64,
+		},
+		MaxThreads: 32,
+		NStar:      [3]int{9, 20, 11},
+		Bottleneck: 25000,
+	}
+}
+
+// trainOpts returns the core pipeline options for the given fidelity.
+func trainOpts(tb Testbed, mode Mode, seed int64) core.Options {
+	opts := core.Options{
+		MaxThreads:    tb.MaxThreads,
+		SenderBufMb:   tb.Cfg.SenderBufCap,
+		ReceiverBufMb: tb.Cfg.ReceiverBufCap,
+		Seed:          seed,
+	}
+	switch mode {
+	case Paper:
+		// Paper architecture and budget (Algorithm 2 defaults).
+		opts.Train = rl.TrainConfig{}
+	default:
+		opts.Net = rl.NetConfig{Hidden: 32, PolicyBlocks: 1, ValueBlocks: 1}
+		opts.Train = rl.TrainConfig{
+			Episodes:      3000,
+			LR:            1e-3,
+			UpdateEpochs:  4,
+			StagnantLimit: 300,
+			// The paper's 0.1 entropy bonus anneals over tens of
+			// thousands of episodes; with Quick budgets a smaller bonus
+			// lets the action noise shrink in time.
+			EntropyCoef: 0.01,
+			OOBPenalty:  1.0,
+		}
+	}
+	return opts
+}
+
+// paperMarlin builds the Marlin baseline calibrated to its published
+// behaviour: each configuration held for 2 one-second ticks (Marlin needs
+// a few seconds of stable metrics per measurement), conservative steps,
+// and a 3% utility-noise floor. On the WAN testbed this lands within a
+// few percent of the paper's measured Marlin throughput.
+func paperMarlin() *marlin.Optimizer {
+	m := marlin.New()
+	m.Hold = 2
+	m.MaxStep = 2
+	m.Tol = 0.03
+	return m
+}
+
+// staticCC returns the fixed-concurrency monolithic baseline.
+func staticCC(n int) env.Controller { return static.New(n) }
+
+// probeRunnerFor returns a probe runner over a fresh ground-truth
+// simulator of the testbed.
+func probeRunnerFor(tb Testbed) probe.Runner {
+	return probe.SimRunner{Sim: sim.New(tb.Cfg)}
+}
+
+// trainCache memoizes trained systems per (testbed, mode, seed) so the
+// bench suite trains each scenario once per process.
+var trainCache sync.Map
+
+// TrainedSystem probes the testbed and trains an AutoMDT agent for it,
+// caching the result.
+func TrainedSystem(tb Testbed, mode Mode, seed int64) (*core.System, error) {
+	type key struct {
+		name string
+		mode Mode
+		seed int64
+	}
+	k := key{tb.Name, mode, seed}
+	if v, ok := trainCache.Load(k); ok {
+		return v.(*core.System), nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	probeSteps := 300
+	if mode == Paper {
+		probeSteps = 600 // the paper's 10-minute random-threads run
+	}
+	sys, err := core.ProbeAndTrain(
+		probeRunnerFor(tb),
+		rng,
+		probe.Options{Steps: probeSteps, MaxThreads: tb.MaxThreads},
+		trainOpts(tb, mode, seed),
+	)
+	if err != nil {
+		return nil, err
+	}
+	trainCache.Store(k, sys)
+	return sys, nil
+}

@@ -1,0 +1,200 @@
+package fsim
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestSyntheticContentDeterministic(t *testing.T) {
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	FillContent("f.dat", 100, a)
+	FillContent("f.dat", 100, b)
+	if !bytes.Equal(a, b) {
+		t.Fatal("content not deterministic")
+	}
+	FillContent("other.dat", 100, b)
+	if bytes.Equal(a, b) {
+		t.Fatal("different files should have different content")
+	}
+}
+
+func TestSyntheticContentOffsetConsistency(t *testing.T) {
+	// Reading [0,128) must equal reading [0,64)+[64,128).
+	whole := make([]byte, 128)
+	FillContent("x", 0, whole)
+	lo := make([]byte, 64)
+	hi := make([]byte, 64)
+	FillContent("x", 0, lo)
+	FillContent("x", 64, hi)
+	if !bytes.Equal(whole[:64], lo) || !bytes.Equal(whole[64:], hi) {
+		t.Fatal("offset-addressed content inconsistent")
+	}
+}
+
+func TestSyntheticReaderBounds(t *testing.T) {
+	s := NewSyntheticStore()
+	r, err := s.Open("a", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 60)
+	if n, err := r.ReadAt(buf, 0); n != 60 || err != nil {
+		t.Fatalf("full read n=%d err=%v", n, err)
+	}
+	// Tail read returns short count + EOF.
+	if n, err := r.ReadAt(buf, 80); n != 20 || err != io.EOF {
+		t.Fatalf("tail read n=%d err=%v", n, err)
+	}
+	if _, err := r.ReadAt(buf, 100); err != io.EOF {
+		t.Fatalf("past-end read err=%v", err)
+	}
+	if _, err := r.ReadAt(buf, -1); err == nil {
+		t.Fatal("negative offset should error")
+	}
+}
+
+func TestSyntheticWriterVerifyAcceptsCorrectContent(t *testing.T) {
+	s := NewSyntheticStore()
+	s.Verify = true
+	w, err := s.Create("v.dat", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1000)
+	FillContent("v.dat", 0, buf)
+	if _, err := w.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.WrittenBytes("v.dat") != 1000 {
+		t.Fatalf("written=%d", s.WrittenBytes("v.dat"))
+	}
+	if len(s.Errors()) != 0 {
+		t.Fatalf("unexpected errors: %v", s.Errors())
+	}
+}
+
+func TestSyntheticWriterVerifyCatchesCorruption(t *testing.T) {
+	s := NewSyntheticStore()
+	s.Verify = true
+	w, _ := s.Create("v.dat", 100)
+	buf := make([]byte, 100)
+	FillContent("v.dat", 0, buf)
+	buf[50] ^= 0xFF
+	if _, err := w.WriteAt(buf, 0); err == nil {
+		t.Fatal("corruption not detected")
+	}
+	if len(s.Errors()) == 0 {
+		t.Fatal("error not recorded")
+	}
+}
+
+func TestSyntheticWriterBounds(t *testing.T) {
+	s := NewSyntheticStore()
+	w, _ := s.Create("b.dat", 10)
+	if _, err := w.WriteAt(make([]byte, 20), 0); err == nil {
+		t.Fatal("oversized write should error")
+	}
+	if _, err := w.WriteAt(make([]byte, 5), 8); err == nil {
+		t.Fatal("overhanging write should error")
+	}
+}
+
+func TestTotalWritten(t *testing.T) {
+	s := NewSyntheticStore()
+	w1, _ := s.Create("a", 100)
+	w2, _ := s.Create("b", 100)
+	w1.WriteAt(make([]byte, 40), 0)
+	w2.WriteAt(make([]byte, 25), 0)
+	if s.TotalWritten() != 65 {
+		t.Fatalf("TotalWritten=%d", s.TotalWritten())
+	}
+}
+
+func TestDirStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := NewDirStore(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ds.Create("sub/f.bin", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := make([]byte, 128)
+	FillContent("f", 0, content)
+	if _, err := w.WriteAt(content[64:], 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteAt(content[:64], 0); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	r, err := ds.Open("sub/f.bin", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got := make([]byte, 128)
+	if _, err := r.ReadAt(got, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestDirStorePreSizesFiles(t *testing.T) {
+	dir := t.TempDir()
+	ds, _ := NewDirStore(dir)
+	w, err := ds.Create("f.bin", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	fi, err := os.Stat(filepath.Join(dir, "f.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 4096 {
+		t.Fatalf("pre-sized to %d want 4096", fi.Size())
+	}
+}
+
+func TestDirStoreRejectsEscapes(t *testing.T) {
+	dir := t.TempDir()
+	ds, _ := NewDirStore(dir)
+	for _, name := range []string{"../evil", "/abs/path", "a/../../evil"} {
+		if _, err := ds.Open(name, 1); err == nil {
+			t.Fatalf("path %q should be rejected", name)
+		}
+	}
+}
+
+// Property: synthetic reader output always matches FillContent at any
+// offset/length.
+func TestQuickReaderMatchesFill(t *testing.T) {
+	s := NewSyntheticStore()
+	f := func(off uint16, n uint8) bool {
+		size := int64(1 << 16)
+		r, _ := s.Open("q.dat", size)
+		defer r.Close()
+		length := int(n)%128 + 1
+		o := int64(off) % (size - 200)
+		got := make([]byte, length)
+		want := make([]byte, length)
+		if _, err := r.ReadAt(got, o); err != nil {
+			return false
+		}
+		FillContent("q.dat", o, want)
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

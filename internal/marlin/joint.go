@@ -1,0 +1,93 @@
+package marlin
+
+import (
+	"math"
+
+	"automdt/internal/env"
+)
+
+// JointGD is the joint multivariate gradient-descent optimizer whose
+// failure motivates AutoMDT (§III): the three concurrency values are
+// optimized together against the *total* utility U = Σ tᵢ/k^{nᵢ} using
+// finite-difference partial derivatives and a conventional decaying step
+// size.
+//
+// The failure mode the paper describes emerges naturally: early in the
+// transfer the staging buffers are empty, so probes of the network and
+// write concurrency show zero or negative utility change (there is
+// nothing to move yet) while read probes look great. Gradient descent
+// therefore pours its large early steps into read concurrency and backs
+// the others off. By the time the sender buffer fills — when network and
+// write concurrency *should* rise — the step size has decayed below one
+// thread and the optimizer is frozen in the local optimum, "never
+// recovering".
+type JointGD struct {
+	// K is the utility penalty base (default env.DefaultK).
+	K float64
+	// Step0 is the initial step size in threads (default 3).
+	Step0 float64
+	// Decay is the per-decision multiplicative step decay (default 0.90).
+	Decay float64
+
+	step    float64
+	coord   int // round-robin probe coordinate
+	prevN   [3]int
+	prevU   float64
+	dir     [3]int
+	haveObs bool
+}
+
+// NewJointGD creates the joint gradient-descent ablation controller.
+func NewJointGD() *JointGD {
+	return &JointGD{K: env.DefaultK, Step0: 3, Decay: 0.90}
+}
+
+// Name implements env.Controller.
+func (j *JointGD) Name() string { return "joint-gd" }
+
+// Decide implements env.Controller.
+func (j *JointGD) Decide(s env.State) env.Action {
+	k := j.K
+	if k <= 0 {
+		k = env.DefaultK
+	}
+	u := env.Utility(s.Throughput, s.Threads, k)
+
+	var a env.Action
+	a.Threads = s.Threads
+	if !j.haveObs {
+		j.haveObs = true
+		j.step = j.Step0
+		j.dir = [3]int{1, 1, 1}
+		// First probe: perturb coordinate 0 (read).
+		a.Threads[0] += int(math.Round(j.step))
+	} else {
+		// Attribute the utility change to the coordinate we probed.
+		i := j.coord
+		dn := s.Threads[i] - j.prevN[i]
+		if dn != 0 {
+			g := (u - j.prevU) / float64(dn)
+			if g > 0 {
+				j.dir[i] = sign(dn)
+			} else {
+				j.dir[i] = -sign(dn)
+			}
+		}
+		// Decay the step (standard 1/t-style cooling); once it rounds to
+		// zero the coordinate is frozen — the "never recovers" regime.
+		j.step *= j.Decay
+		j.coord = (j.coord + 1) % 3
+		d := int(math.Round(j.step))
+		a.Threads[j.coord] += j.dir[j.coord] * d
+	}
+	j.prevN = s.Threads
+	j.prevU = u
+	return a.Clamp(1 << 30)
+}
+
+func sign(n int) int {
+	if n < 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,171 @@
+package marlin
+
+import (
+	"math"
+	"testing"
+
+	"automdt/internal/core"
+	"automdt/internal/env"
+	"automdt/internal/metrics"
+	"automdt/internal/sim"
+)
+
+func state(n [3]int, t [3]float64) env.State {
+	return env.State{Threads: n, Throughput: t, SenderFree: 100, ReceiverFree: 100}
+}
+
+func TestDefaults(t *testing.T) {
+	o := New()
+	if o.K != env.DefaultK || o.MaxStep != 4 || o.Tol != 0.01 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if o.Name() != "marlin" {
+		t.Fatalf("name %q", o.Name())
+	}
+}
+
+func TestBootstrapProbesUp(t *testing.T) {
+	o := New()
+	a := o.Decide(state([3]int{3, 3, 3}, [3]float64{100, 100, 100}))
+	if a.Threads != [3]int{4, 4, 4} {
+		t.Fatalf("bootstrap %v", a.Threads)
+	}
+}
+
+func TestAccelerationOnImprovement(t *testing.T) {
+	o := New()
+	o.Decide(state([3]int{2, 2, 2}, [3]float64{100, 100, 100}))
+	// We moved +1 and throughput doubled: keep direction, double step.
+	a := o.Decide(state([3]int{3, 3, 3}, [3]float64{220, 220, 220}))
+	for i, n := range a.Threads {
+		if n != 5 { // 3 + dir(+1)·step(2)
+			t.Fatalf("stage %d: %d want 5 (accelerated)", i, n)
+		}
+	}
+}
+
+func TestStepCapRespected(t *testing.T) {
+	o := New()
+	o.MaxStep = 2
+	o.Decide(state([3]int{2, 2, 2}, [3]float64{100, 100, 100}))
+	o.Decide(state([3]int{3, 3, 3}, [3]float64{250, 250, 250}))      // step 2
+	a := o.Decide(state([3]int{5, 5, 5}, [3]float64{500, 500, 500})) // step would be 4, capped 2
+	for i, n := range a.Threads {
+		if n != 7 {
+			t.Fatalf("stage %d: %d want 7 (cap 2)", i, n)
+		}
+	}
+}
+
+func TestFlatGradientKeepsProbing(t *testing.T) {
+	o := New()
+	o.Decide(state([3]int{5, 5, 5}, [3]float64{100, 100, 100}))
+	// +1 threads, essentially unchanged utility → probe up by 1.
+	a := o.Decide(state([3]int{6, 6, 6}, [3]float64{101.5, 101.5, 101.5}))
+	for i, n := range a.Threads {
+		if n != 7 {
+			t.Fatalf("stage %d: %d want 7 (flat probe)", i, n)
+		}
+	}
+}
+
+func TestHoldPacing(t *testing.T) {
+	o := New()
+	o.Hold = 3
+	s := state([3]int{4, 4, 4}, [3]float64{100, 100, 100})
+	a1 := o.Decide(s) // acts
+	if a1.Threads == s.Threads {
+		t.Fatal("first decision should act")
+	}
+	// Next two decisions hold the configuration.
+	s2 := state(a1.Threads, [3]float64{120, 120, 120})
+	if a := o.Decide(s2); a.Threads != s2.Threads {
+		t.Fatalf("hold tick changed threads: %v", a.Threads)
+	}
+	if a := o.Decide(s2); a.Threads != s2.Threads {
+		t.Fatal("second hold tick changed threads")
+	}
+	// Third decision acts again.
+	if a := o.Decide(s2); a.Threads == s2.Threads {
+		t.Fatal("post-hold decision should act")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	o := New()
+	o.Hold = 2
+	o.Decide(state([3]int{4, 4, 4}, [3]float64{100, 100, 100}))
+	o.Reset()
+	// After reset the optimizer bootstraps again (acts immediately).
+	a := o.Decide(state([3]int{4, 4, 4}, [3]float64{100, 100, 100}))
+	if a.Threads != [3]int{5, 5, 5} {
+		t.Fatalf("post-reset bootstrap %v", a.Threads)
+	}
+}
+
+func TestActionsNeverBelowOne(t *testing.T) {
+	o := New()
+	o.Decide(state([3]int{1, 1, 1}, [3]float64{10, 10, 10}))
+	// Utility collapse → reversal, but floor at 1.
+	a := o.Decide(state([3]int{2, 2, 2}, [3]float64{0.01, 0.01, 0.01}))
+	for i, n := range a.Threads {
+		if n < 1 {
+			t.Fatalf("stage %d went to %d", i, n)
+		}
+	}
+}
+
+func TestJointGDDefaults(t *testing.T) {
+	j := NewJointGD()
+	if j.Name() != "joint-gd" || j.Step0 != 3 || j.Decay != 0.90 {
+		t.Fatalf("%+v", j)
+	}
+}
+
+func TestJointGDStepDecaysToFrozen(t *testing.T) {
+	j := NewJointGD()
+	s := state([3]int{5, 5, 5}, [3]float64{100, 100, 100})
+	prev := s
+	var lastAct env.Action
+	frozen := false
+	for i := 0; i < 60; i++ {
+		lastAct = j.Decide(prev)
+		prev = state(lastAct.Threads, [3]float64{100, 100, 100})
+		if i > 40 && lastAct.Threads == prev.Threads {
+			frozen = true
+		}
+	}
+	_ = lastAct
+	if !frozen {
+		t.Fatal("joint GD step never decayed to zero movement")
+	}
+}
+
+// The §III story end-to-end: on a pipeline where the buffers start empty,
+// joint GD must end far below what the bottleneck allows, while the
+// simple Marlin hill climbers keep making progress.
+func TestJointGDStallsOnWanPipeline(t *testing.T) {
+	cfg := sim.Config{
+		TPT:            [3]float64{2800, 1250, 2400},
+		Bandwidth:      [3]float64{26000, 25000, 26000},
+		SenderBufCap:   12000,
+		ReceiverBufCap: 12000,
+		ChunkMb:        64,
+	}
+	run := func(ctrl env.Controller) float64 {
+		st := &core.SimTransfer{Cfg: cfg, Controller: ctrl, TotalMb: 400_000,
+			MaxTicks: 600, MaxThreads: 32}
+		r := st.Run()
+		// steady-state end-to-end rate over the last half
+		vs := r.Rec.Series("thr_e2e").Values()
+		return metrics.Summarize(vs[len(vs)/2:]).Mean
+	}
+	joint := run(NewJointGD())
+	marlin := run(New())
+	if joint > 0.6*marlin {
+		t.Fatalf("joint GD (%.0f Mbps) not clearly stalled vs Marlin (%.0f Mbps)", joint, marlin)
+	}
+	if math.IsNaN(joint) || joint <= 0 {
+		t.Fatalf("joint GD rate %v", joint)
+	}
+}

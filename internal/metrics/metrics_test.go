@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Add(10)
+	c.Add(5)
+	if c.Load() != 15 {
+		t.Fatalf("Load=%d", c.Load())
+	}
+	if c.Reset() != 15 || c.Load() != 0 {
+		t.Fatal("Reset broken")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 16000 {
+		t.Fatalf("lost updates: %d", c.Load())
+	}
+}
+
+func TestSeriesRecordAndQuery(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 5; i++ {
+		s.Record(float64(i), float64(i*i))
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+	if last := s.Last(); last.T != 4 || last.V != 16 {
+		t.Fatalf("Last=%v", last)
+	}
+	vs := s.Values()
+	if len(vs) != 5 || vs[3] != 9 {
+		t.Fatalf("Values=%v", vs)
+	}
+}
+
+func TestTimeToReach(t *testing.T) {
+	s := NewSeries("cc")
+	for i, v := range []float64{1, 3, 7, 13, 13} {
+		s.Record(float64(i), v)
+	}
+	if got := s.TimeToReach(13); got != 3 {
+		t.Fatalf("TimeToReach(13)=%v", got)
+	}
+	if got := s.TimeToReach(20); got != -1 {
+		t.Fatalf("TimeToReach(20)=%v want -1", got)
+	}
+}
+
+func TestStability(t *testing.T) {
+	s := NewSeries("cc")
+	for i, v := range []float64{0, 5, 10, 10, 10, 10} {
+		s.Record(float64(i), v)
+	}
+	if got := s.Stability(10); got != 0 {
+		t.Fatalf("stable series Stability=%v", got)
+	}
+	if got := s.Stability(99); !math.IsInf(got, 1) {
+		t.Fatalf("unreached target should be +Inf, got %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sm := Summarize([]float64{1, 2, 3, 4, 5})
+	if sm.N != 5 || sm.Mean != 3 || sm.Min != 1 || sm.Max != 5 || sm.P50 != 3 {
+		t.Fatalf("summary=%+v", sm)
+	}
+	if math.Abs(sm.Std-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("std=%v", sm.Std)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sm := Summarize([]float64{0, 10})
+	if sm.P50 != 5 {
+		t.Fatalf("P50=%v want 5", sm.P50)
+	}
+}
+
+func TestRecorderSeriesCreationAndOrder(t *testing.T) {
+	r := NewRecorder()
+	r.Series("b").Record(0, 1)
+	r.Series("a").Record(0, 2)
+	r.Series("b").Record(1, 3)
+	names := r.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Fatalf("names=%v", names)
+	}
+}
+
+func TestRecorderCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Series("x").Record(0, 1)
+	r.Series("x").Record(1, 2)
+	r.Series("y").Record(0, 3)
+	csv := r.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv rows=%d: %q", len(lines), csv)
+	}
+	if lines[0] != "t,x,y" {
+		t.Fatalf("header=%q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "1.000,2.0000,") {
+		t.Fatalf("row 2=%q", lines[2])
+	}
+}
+
+// Property: mean lies within [min, max] and P50 within [min, max].
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(vs []float64) bool {
+		// Filter non-finite inputs that quick may generate.
+		// Filter values whose sum could overflow float64.
+		clean := vs[:0]
+		for _, v := range vs {
+			if !math.IsNaN(v) && math.Abs(v) < 1e300 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.P50 >= s.Min-1e-9 && s.P50 <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

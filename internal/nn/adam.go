@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"math"
+
+	"automdt/internal/tensor"
+)
+
+// Adam implements the Adam optimizer (Kingma & Ba) over a fixed set of
+// parameter tensors, as used by Algorithm 2 of the paper.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Eps     float64
+	MaxNorm float64 // if >0, global gradient-norm clipping threshold
+
+	params []*tensor.Tensor
+	m      [][]float64
+	v      [][]float64
+	t      int
+}
+
+// NewAdam creates an Adam optimizer with the standard moment decay rates
+// (0.9, 0.999) and the given learning rate.
+func NewAdam(params []*tensor.Tensor, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float64, p.Len())
+		a.v[i] = make([]float64, p.Len())
+	}
+	return a
+}
+
+// ZeroGrad clears the gradients of all managed parameters.
+func (a *Adam) ZeroGrad() {
+	for _, p := range a.params {
+		p.ZeroGrad()
+	}
+}
+
+// GradNorm returns the global L2 norm of all parameter gradients.
+func (a *Adam) GradNorm() float64 {
+	s := 0.0
+	for _, p := range a.params {
+		for _, g := range p.Grad {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// Step applies one Adam update using the gradients currently accumulated
+// on the parameters. If MaxNorm is set, gradients are first rescaled so
+// their global norm does not exceed it.
+func (a *Adam) Step() {
+	scale := 1.0
+	if a.MaxNorm > 0 {
+		if n := a.GradNorm(); n > a.MaxNorm {
+			scale = a.MaxNorm / (n + 1e-12)
+		}
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.params {
+		if p.Grad == nil {
+			continue
+		}
+		m, v := a.m[i], a.v[i]
+		for j := range p.Data {
+			g := p.Grad[j] * scale
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mHat := m[j] / bc1
+			vHat := v[j] / bc2
+			p.Data[j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+}

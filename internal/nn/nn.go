@@ -1,0 +1,173 @@
+// Package nn provides the neural-network building blocks used by
+// AutoMDT's PPO agent: linear layers, layer normalization, activations,
+// the residual blocks described in §IV-D of the paper, a sequential
+// container, Gaussian and categorical policy heads, and the Adam
+// optimizer. Everything is built on internal/tensor's autograd.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"automdt/internal/tensor"
+)
+
+// Module is a differentiable computation with trainable parameters.
+type Module interface {
+	// Forward applies the module to a rank-2 input (batch, features).
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable parameter tensors.
+	Params() []*tensor.Tensor
+}
+
+// Linear is a fully connected layer: y = x@W + b.
+type Linear struct {
+	W *tensor.Tensor // (in, out)
+	B *tensor.Tensor // (out)
+}
+
+// NewLinear creates a linear layer with Xavier/Glorot-uniform initialized
+// weights and zero bias, using rng for reproducibility.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	w := tensor.Zeros(in, out)
+	limit := math.Sqrt(6.0 / float64(in+out))
+	for i := range w.Data {
+		w.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return &Linear{W: w.Param(), B: tensor.Zeros(out).Param()}
+}
+
+// Forward implements Module.
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return tensor.Add(tensor.MatMul(x, l.W), l.B)
+}
+
+// Params implements Module.
+func (l *Linear) Params() []*tensor.Tensor { return []*tensor.Tensor{l.W, l.B} }
+
+// LayerNorm normalizes over the feature dimension with learned gain/bias.
+type LayerNorm struct {
+	Gain *tensor.Tensor
+	Bias *tensor.Tensor
+	Eps  float64
+}
+
+// NewLayerNorm creates a layer normalization over dim features.
+func NewLayerNorm(dim int) *LayerNorm {
+	return &LayerNorm{
+		Gain: tensor.Full(1, dim).Param(),
+		Bias: tensor.Zeros(dim).Param(),
+		Eps:  1e-5,
+	}
+}
+
+// Forward implements Module.
+func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return tensor.LayerNorm(x, l.Gain, l.Bias, l.Eps)
+}
+
+// Params implements Module.
+func (l *LayerNorm) Params() []*tensor.Tensor { return []*tensor.Tensor{l.Gain, l.Bias} }
+
+// Tanh is a parameter-free hyperbolic tangent activation module.
+type Tanh struct{}
+
+// Forward implements Module.
+func (Tanh) Forward(x *tensor.Tensor) *tensor.Tensor { return tensor.Tanh(x) }
+
+// Params implements Module.
+func (Tanh) Params() []*tensor.Tensor { return nil }
+
+// ReLU is a parameter-free rectified linear activation module.
+type ReLU struct{}
+
+// Forward implements Module.
+func (ReLU) Forward(x *tensor.Tensor) *tensor.Tensor { return tensor.ReLU(x) }
+
+// Params implements Module.
+func (ReLU) Params() []*tensor.Tensor { return nil }
+
+// Sequential chains modules, feeding each output to the next input.
+type Sequential struct {
+	Layers []Module
+}
+
+// NewSequential builds a Sequential from the given layers.
+func NewSequential(layers ...Module) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward implements Module.
+func (s *Sequential) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Params implements Module.
+func (s *Sequential) Params() []*tensor.Tensor {
+	var ps []*tensor.Tensor
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ResidualBlock is the policy-network residual block from §IV-D-3: two
+// linear transformations interleaved with layer normalization and ReLU
+// activations, plus a skip connection adding the input to the output.
+type ResidualBlock struct {
+	Fc1   *Linear
+	Norm1 *LayerNorm
+	Fc2   *Linear
+	Norm2 *LayerNorm
+}
+
+// NewResidualBlock creates a width-preserving residual block.
+func NewResidualBlock(dim int, rng *rand.Rand) *ResidualBlock {
+	return &ResidualBlock{
+		Fc1:   NewLinear(dim, dim, rng),
+		Norm1: NewLayerNorm(dim),
+		Fc2:   NewLinear(dim, dim, rng),
+		Norm2: NewLayerNorm(dim),
+	}
+}
+
+// Forward implements Module.
+func (r *ResidualBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
+	h := tensor.ReLU(r.Norm1.Forward(r.Fc1.Forward(x)))
+	h = r.Norm2.Forward(r.Fc2.Forward(h))
+	return tensor.Add(h, x)
+}
+
+// Params implements Module.
+func (r *ResidualBlock) Params() []*tensor.Tensor {
+	ps := r.Fc1.Params()
+	ps = append(ps, r.Norm1.Params()...)
+	ps = append(ps, r.Fc2.Params()...)
+	ps = append(ps, r.Norm2.Params()...)
+	return ps
+}
+
+// TanhResidualBlock is the value-network residual block from §IV-D-4: two
+// sequential linear layers with Tanh activations and a skip connection.
+type TanhResidualBlock struct {
+	Fc1 *Linear
+	Fc2 *Linear
+}
+
+// NewTanhResidualBlock creates a width-preserving tanh residual block.
+func NewTanhResidualBlock(dim int, rng *rand.Rand) *TanhResidualBlock {
+	return &TanhResidualBlock{Fc1: NewLinear(dim, dim, rng), Fc2: NewLinear(dim, dim, rng)}
+}
+
+// Forward implements Module.
+func (r *TanhResidualBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
+	h := tensor.Tanh(r.Fc1.Forward(x))
+	h = tensor.Tanh(r.Fc2.Forward(h))
+	return tensor.Add(h, x)
+}
+
+// Params implements Module.
+func (r *TanhResidualBlock) Params() []*tensor.Tensor {
+	return append(r.Fc1.Params(), r.Fc2.Params()...)
+}

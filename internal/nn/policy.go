@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"automdt/internal/tensor"
+)
+
+// log(2π), used by Gaussian log-densities.
+const log2Pi = 1.8378770664093453
+
+// GaussianHead turns a feature vector into the mean of a diagonal
+// Gaussian action distribution; the log standard deviation is a trainable
+// state-independent parameter clamped to [LogStdMin, LogStdMax] as
+// described in §IV-D-3 of the paper.
+type GaussianHead struct {
+	Mean      *Linear
+	LogStd    *tensor.Tensor // (actionDim), trainable
+	LogStdMin float64
+	LogStdMax float64
+}
+
+// NewGaussianHead creates a Gaussian policy head mapping dim features to
+// actionDim action means, with initial log-std init.
+func NewGaussianHead(dim, actionDim int, initLogStd float64, rng *rand.Rand) *GaussianHead {
+	return &GaussianHead{
+		Mean:      NewLinear(dim, actionDim, rng),
+		LogStd:    tensor.Full(initLogStd, actionDim).Param(),
+		LogStdMin: -4,
+		LogStdMax: 1,
+	}
+}
+
+// Params returns the trainable parameters of the head.
+func (g *GaussianHead) Params() []*tensor.Tensor {
+	return append(g.Mean.Params(), g.LogStd)
+}
+
+// MeanStd returns the action mean (batch, actionDim) and the per-dimension
+// standard deviation (actionDim) as autograd tensors.
+func (g *GaussianHead) MeanStd(features *tensor.Tensor) (mean, std *tensor.Tensor) {
+	return g.Mean.Forward(features), g.Std()
+}
+
+// Std returns the per-dimension standard deviation (actionDim), which is
+// state-independent: exp(clamp(logStd)).
+func (g *GaussianHead) Std() *tensor.Tensor {
+	return tensor.Exp(tensor.Clamp(g.LogStd, g.LogStdMin, g.LogStdMax))
+}
+
+// Sample draws one action from N(mean, std) for a single-row feature
+// tensor, returning the action vector. It performs no autograd bookkeeping.
+func (g *GaussianHead) Sample(features *tensor.Tensor, rng *rand.Rand) []float64 {
+	mean, std := g.MeanStd(features)
+	a := make([]float64, mean.Cols())
+	for j := range a {
+		a[j] = mean.Data[j] + std.Data[j%std.Len()]*rng.NormFloat64()
+	}
+	return a
+}
+
+// GaussianLogProb computes per-sample log-densities of actions (B,D) under
+// the diagonal Gaussian with mean (B,D) and std (D), returning (B,1). All
+// operations are differentiable.
+func GaussianLogProb(mean, std, actions *tensor.Tensor) *tensor.Tensor {
+	z := tensor.Div(tensor.Sub(actions, mean), std)
+	perDim := tensor.Scale(tensor.Square(z), -0.5)
+	logStd := tensor.Log(std)
+	perDim = tensor.Sub(perDim, logStd)            // broadcast (D) over (B,D)
+	perDim = tensor.AddScalar(perDim, -0.5*log2Pi) // constant term
+	return tensor.SumRows(perDim)                  // (B,1)
+}
+
+// GaussianEntropy returns the summed differential entropy of the diagonal
+// Gaussian with the given std vector: Σ_d (log σ_d + ½log(2πe)),
+// as a rank-0 tensor (identical for every batch row).
+func GaussianEntropy(std *tensor.Tensor) *tensor.Tensor {
+	h := tensor.AddScalar(tensor.Log(std), 0.5*(log2Pi+1))
+	return tensor.Sum(h)
+}
+
+// CategoricalHead maps features to logits over a discrete action set. It
+// backs the discrete-action-space ablation of Fig. 4.
+type CategoricalHead struct {
+	Logits *Linear
+}
+
+// NewCategoricalHead creates a categorical policy head with n actions.
+func NewCategoricalHead(dim, n int, rng *rand.Rand) *CategoricalHead {
+	return &CategoricalHead{Logits: NewLinear(dim, n, rng)}
+}
+
+// Params returns the trainable parameters of the head.
+func (c *CategoricalHead) Params() []*tensor.Tensor { return c.Logits.Params() }
+
+// LogProbs returns per-row log-probabilities (B,N).
+func (c *CategoricalHead) LogProbs(features *tensor.Tensor) *tensor.Tensor {
+	return tensor.LogSoftmax(c.Logits.Forward(features))
+}
+
+// Sample draws an action index from the categorical distribution for a
+// single-row feature tensor.
+func (c *CategoricalHead) Sample(features *tensor.Tensor, rng *rand.Rand) int {
+	lp := c.LogProbs(features)
+	u := rng.Float64()
+	acc := 0.0
+	for j := 0; j < lp.Cols(); j++ {
+		acc += math.Exp(lp.Data[j])
+		if u <= acc {
+			return j
+		}
+	}
+	return lp.Cols() - 1
+}
+
+// CategoricalEntropy returns the mean entropy of the rows of logProbs.
+func CategoricalEntropy(logProbs *tensor.Tensor) *tensor.Tensor {
+	p := tensor.Exp(logProbs)
+	perRow := tensor.SumRows(tensor.Mul(p, logProbs)) // Σ p log p, (B,1)
+	return tensor.Neg(tensor.Mean(perRow))
+}

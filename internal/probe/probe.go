@@ -1,0 +1,150 @@
+// Package probe implements AutoMDT's exploration and logging phase
+// (§IV-A): a short "random-threads" run against the real transfer path
+// that records per-stage throughputs every second, from which it derives
+// the per-thread throughput TPTᵢ and aggregate bandwidth Bᵢ of each stage,
+// the end-to-end bottleneck b = min(B_r, B_n, B_w), the thread counts
+// n*ᵢ = b / TPTᵢ needed to reach it, and the theoretical maximum reward
+// Rmax used as the offline-training convergence criterion.
+package probe
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"automdt/internal/env"
+	"automdt/internal/sim"
+)
+
+// Runner executes one measurement interval at the given concurrency and
+// reports the per-stage throughputs in Mbps. The live transfer engine and
+// the simulator both satisfy this.
+type Runner interface {
+	Probe(nr, nn, nw int) (tr, tn, tw float64)
+}
+
+// RunnerFunc adapts a function to the Runner interface.
+type RunnerFunc func(nr, nn, nw int) (tr, tn, tw float64)
+
+// Probe implements Runner.
+func (f RunnerFunc) Probe(nr, nn, nw int) (tr, tn, tw float64) { return f(nr, nn, nw) }
+
+// SimRunner adapts a *sim.Simulator to the Runner interface.
+type SimRunner struct{ Sim *sim.Simulator }
+
+// Probe implements Runner.
+func (s SimRunner) Probe(nr, nn, nw int) (tr, tn, tw float64) {
+	r := s.Sim.Step(nr, nn, nw)
+	return r.Throughput[sim.Read], r.Throughput[sim.Network], r.Throughput[sim.Write]
+}
+
+// Sample is one logged second of the exploration run.
+type Sample struct {
+	Threads    [3]int
+	Throughput [3]float64
+}
+
+// Profile is the distilled result of the exploration phase.
+type Profile struct {
+	// B is the observed aggregate bandwidth of each stage (max Tᵢ), Mbps.
+	B [3]float64
+	// TPT is the observed per-thread throughput of each stage
+	// (max Tᵢ/nᵢ), Mbps.
+	TPT [3]float64
+	// Bottleneck is b = min(B_r, B_n, B_w).
+	Bottleneck float64
+	// NStar holds the thread counts needed to reach the bottleneck
+	// assuming near-linear scaling: n*ᵢ = ceil(b / TPTᵢ).
+	NStar [3]int
+	// Rmax is the theoretical maximum utility for penalty base k.
+	Rmax float64
+	// K is the penalty base Rmax was computed with.
+	K float64
+	// Samples holds the raw log for diagnostics.
+	Samples []Sample
+}
+
+// Options configure an exploration run.
+type Options struct {
+	// Steps is the number of one-second measurements. The paper uses a
+	// 10-minute run (600). Defaults to 600.
+	Steps int
+	// MaxThreads bounds the random thread counts. Defaults to 32.
+	MaxThreads int
+	// K is the utility penalty base. Defaults to env.DefaultK.
+	K float64
+	// KeepSamples retains the raw log in the Profile.
+	KeepSamples bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Steps <= 0 {
+		o.Steps = 600
+	}
+	if o.MaxThreads <= 0 {
+		o.MaxThreads = 32
+	}
+	if o.K <= 0 {
+		o.K = env.DefaultK
+	}
+	return o
+}
+
+// Explore performs the random-threads run against r and derives a
+// Profile. rng drives the random concurrency choices.
+func Explore(r Runner, rng *rand.Rand, opts Options) (*Profile, error) {
+	opts = opts.withDefaults()
+	p := &Profile{K: opts.K}
+	for step := 0; step < opts.Steps; step++ {
+		nr := 1 + rng.Intn(opts.MaxThreads)
+		nn := 1 + rng.Intn(opts.MaxThreads)
+		nw := 1 + rng.Intn(opts.MaxThreads)
+		tr, tn, tw := r.Probe(nr, nn, nw)
+		s := Sample{Threads: [3]int{nr, nn, nw}, Throughput: [3]float64{tr, tn, tw}}
+		if opts.KeepSamples {
+			p.Samples = append(p.Samples, s)
+		}
+		for i := 0; i < 3; i++ {
+			if s.Throughput[i] > p.B[i] {
+				p.B[i] = s.Throughput[i]
+			}
+			if tpt := s.Throughput[i] / float64(s.Threads[i]); tpt > p.TPT[i] {
+				p.TPT[i] = tpt
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if p.B[i] <= 0 || p.TPT[i] <= 0 {
+			return nil, fmt.Errorf("probe: stage %v observed no throughput; cannot profile", sim.Stage(i))
+		}
+	}
+	p.Bottleneck = math.Min(p.B[0], math.Min(p.B[1], p.B[2]))
+	for i := 0; i < 3; i++ {
+		p.NStar[i] = int(math.Ceil(p.Bottleneck / p.TPT[i]))
+		if p.NStar[i] < 1 {
+			p.NStar[i] = 1
+		}
+	}
+	p.Rmax = env.TheoreticalMaxReward(p.Bottleneck, p.NStar, opts.K)
+	return p, nil
+}
+
+// SimConfig builds a training-simulator configuration approximating the
+// probed system (the "Configure Simulator Environment" arrow in Fig. 2).
+// Buffer capacities come from the caller, since the probe cannot see them.
+func (p *Profile) SimConfig(senderBufCap, receiverBufCap float64) sim.Config {
+	return sim.Config{
+		TPT:            p.TPT,
+		Bandwidth:      p.B,
+		SenderBufCap:   senderBufCap,
+		ReceiverBufCap: receiverBufCap,
+	}
+}
+
+// String summarizes the profile.
+func (p *Profile) String() string {
+	return fmt.Sprintf(
+		"profile{B=[%.0f %.0f %.0f] Mbps, TPT=[%.1f %.1f %.1f] Mbps, b=%.0f, n*=[%d %d %d], Rmax=%.0f}",
+		p.B[0], p.B[1], p.B[2], p.TPT[0], p.TPT[1], p.TPT[2],
+		p.Bottleneck, p.NStar[0], p.NStar[1], p.NStar[2], p.Rmax)
+}

@@ -1,0 +1,120 @@
+package probe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"automdt/internal/sim"
+)
+
+func readBottleneckSim() *sim.Simulator {
+	// Paper §V-B-1 read-bottleneck scenario: 80/160/200 Mbps per stream,
+	// 1 Gbps link → b=1000, n*=[13, 7, 5].
+	return sim.New(sim.Config{
+		TPT:            [3]float64{80, 160, 200},
+		Bandwidth:      [3]float64{1000, 1000, 1000},
+		SenderBufCap:   2000,
+		ReceiverBufCap: 2000,
+		ChunkMb:        8,
+	})
+}
+
+func TestExploreRecoversKnownProfile(t *testing.T) {
+	p, err := Explore(SimRunner{Sim: readBottleneckSim()}, rand.New(rand.NewSource(7)), Options{Steps: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TPT estimates: a single-stage thread only reaches full TPT when the
+	// stage is unconstrained; random probing gets close.
+	if math.Abs(p.TPT[0]-80) > 12 {
+		t.Fatalf("TPT read=%v want ≈80", p.TPT[0])
+	}
+	if p.Bottleneck < 850 || p.Bottleneck > 1050 {
+		t.Fatalf("bottleneck=%v want ≈1000", p.Bottleneck)
+	}
+	if p.NStar[0] < 11 || p.NStar[0] > 15 {
+		t.Fatalf("n*_r=%d want ≈13", p.NStar[0])
+	}
+	if p.NStar[2] < 4 || p.NStar[2] > 7 {
+		t.Fatalf("n*_w=%d want ≈5", p.NStar[2])
+	}
+	if p.Rmax <= 0 {
+		t.Fatalf("Rmax=%v", p.Rmax)
+	}
+	if p.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestExploreErrorsOnDeadStage(t *testing.T) {
+	dead := RunnerFunc(func(nr, nn, nw int) (float64, float64, float64) {
+		return 100, 0, 100 // network never moves data
+	})
+	if _, err := Explore(dead, rand.New(rand.NewSource(1)), Options{Steps: 10}); err == nil {
+		t.Fatal("expected error for dead stage")
+	}
+}
+
+func TestExploreKeepSamples(t *testing.T) {
+	p, err := Explore(SimRunner{Sim: readBottleneckSim()}, rand.New(rand.NewSource(2)),
+		Options{Steps: 25, KeepSamples: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Samples) != 25 {
+		t.Fatalf("kept %d samples want 25", len(p.Samples))
+	}
+	p2, err := Explore(SimRunner{Sim: readBottleneckSim()}, rand.New(rand.NewSource(2)),
+		Options{Steps: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Samples) != 0 {
+		t.Fatal("samples kept without KeepSamples")
+	}
+}
+
+func TestSimConfigRoundTrip(t *testing.T) {
+	p, err := Explore(SimRunner{Sim: readBottleneckSim()}, rand.New(rand.NewSource(3)), Options{Steps: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := p.SimConfig(500, 500)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("probed config invalid: %v", err)
+	}
+	// A simulator built from the probed profile should behave like the
+	// original near the optimum.
+	s := sim.New(cfg)
+	var last sim.Result
+	for i := 0; i < 10; i++ {
+		last = s.Step(p.NStar[0], p.NStar[1], p.NStar[2])
+	}
+	if last.Throughput[sim.Write] < 0.75*p.Bottleneck {
+		t.Fatalf("rebuilt simulator reaches %v, bottleneck %v", last.Throughput[sim.Write], p.Bottleneck)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Steps != 600 || o.MaxThreads != 32 || o.K <= 1 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+}
+
+func TestNStarAtLeastOne(t *testing.T) {
+	// A fat per-thread rate makes b/TPT < 1; NStar must clamp to 1.
+	fast := RunnerFunc(func(nr, nn, nw int) (float64, float64, float64) {
+		return 1000, 1000, 1000
+	})
+	p, err := Explore(fast, rand.New(rand.NewSource(4)), Options{Steps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range p.NStar {
+		if n < 1 {
+			t.Fatalf("NStar[%d]=%d", i, n)
+		}
+	}
+}

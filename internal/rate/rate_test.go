@@ -1,0 +1,135 @@
+package rate
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestUnlimitedNeverDelays(t *testing.T) {
+	l := Unlimited()
+	for i := 0; i < 100; i++ {
+		if d := l.reserve(1 << 30); d != 0 {
+			t.Fatalf("unlimited limiter delayed %v", d)
+		}
+	}
+}
+
+func TestAllowNWithinBurst(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	l := NewLimiter(1000, 1000)
+	l.SetClock(clk.now)
+	if !l.AllowN(1000) {
+		t.Fatal("full burst should be allowed")
+	}
+	if l.AllowN(1) {
+		t.Fatal("bucket should be empty")
+	}
+	clk.advance(500 * time.Millisecond)
+	if !l.AllowN(500) {
+		t.Fatal("refill after 0.5s should allow 500")
+	}
+}
+
+func TestReserveDebtDelay(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	l := NewLimiter(1000, 1000)
+	l.SetClock(clk.now)
+	if d := l.reserve(1000); d != 0 {
+		t.Fatalf("burst take delayed %v", d)
+	}
+	// 500 bytes of debt at 1000 B/s → 0.5 s wait.
+	if d := l.reserve(500); d != 500*time.Millisecond {
+		t.Fatalf("debt delay = %v want 500ms", d)
+	}
+}
+
+func TestSetRateTakesEffect(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	l := NewLimiter(1000, 1000)
+	l.SetClock(clk.now)
+	l.AllowN(1000) // drain
+	l.SetRate(2000)
+	clk.advance(250 * time.Millisecond)
+	if !l.AllowN(500) {
+		t.Fatal("after rate change, 0.25s at 2000 B/s should refill 500")
+	}
+	if l.Rate() != 2000 {
+		t.Fatalf("Rate()=%v", l.Rate())
+	}
+}
+
+func TestWaitNContextCancel(t *testing.T) {
+	l := NewLimiter(1, 1) // 1 byte/sec: second call would wait ~forever
+	l.AllowN(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := l.WaitN(ctx, 1000); err == nil {
+		t.Fatal("expected context deadline error")
+	}
+}
+
+func TestWaitNImmediateWhenTokensAvailable(t *testing.T) {
+	l := NewLimiter(1e9, 1e9)
+	start := time.Now()
+	if err := l.WaitN(context.Background(), 1000); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("WaitN delayed despite available tokens")
+	}
+}
+
+func TestConcurrentAccessIsSafe(t *testing.T) {
+	l := NewLimiter(1e12, 1e12)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				l.AllowN(10)
+				l.reserve(10)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Sustained throughput over fake time should approximate the configured
+// rate regardless of request sizes.
+func TestSustainedRateApproximation(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	l := NewLimiter(1_000_000, 100_000) // 1 MB/s, 100 KB burst
+	l.SetClock(clk.now)
+	granted := 0
+	for step := 0; step < 1000; step++ {
+		clk.advance(10 * time.Millisecond) // total 10 s
+		for l.AllowN(8192) {
+			granted += 8192
+		}
+	}
+	want := 10_000_000.0
+	if ratio := float64(granted) / want; ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("granted %d bytes over 10s at 1MB/s (ratio %v)", granted, ratio)
+	}
+}

@@ -1,0 +1,146 @@
+package rl
+
+import (
+	"math/rand"
+
+	"automdt/internal/env"
+	"automdt/internal/nn"
+	"automdt/internal/tensor"
+)
+
+// DiscreteAgent is the discrete-action-space PPO variant used for the
+// Fig. 4 ablation. Its training loop mirrors Algorithm 2 with categorical
+// heads instead of the Gaussian head; the paper reports that it fails to
+// converge because the three-dimensional discrete concurrency space is
+// too large for the simple state representation.
+type DiscreteAgent struct {
+	Cfg    NetConfig
+	Policy *DiscretePolicy
+	Value  *ValueNet
+
+	oldPolicy *DiscretePolicy
+	rng       *rand.Rand
+}
+
+// NewDiscreteAgent builds a discrete PPO agent.
+func NewDiscreteAgent(cfg NetConfig, seed int64) *DiscreteAgent {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	a := &DiscreteAgent{
+		Cfg:       cfg,
+		Policy:    NewDiscretePolicy(cfg, rng),
+		Value:     NewValueNet(cfg, rng),
+		oldPolicy: NewDiscretePolicy(cfg, rng),
+		rng:       rng,
+	}
+	a.syncOld()
+	return a
+}
+
+func (a *DiscreteAgent) allParams() nn.ParamList {
+	return append(nn.ParamList{}, append(a.Policy.Params(), a.Value.Params()...)...)
+}
+
+func (a *DiscreteAgent) syncOld() {
+	if err := nn.CopyParams(modOf(a.oldPolicy), modOf(a.Policy)); err != nil {
+		panic(err)
+	}
+}
+
+// discreteRollout is one episode of experience with integer actions.
+type discreteRollout struct {
+	states  [][]float64
+	actions [][3]int
+	rewards []float64
+	rawSum  float64
+}
+
+func (a *DiscreteAgent) collect(e env.Environment, m int, scale float64) discreteRollout {
+	var ro discreteRollout
+	rate, buf := e.Scales()
+	maxT := e.MaxThreads()
+	s := e.Reset()
+	for step := 0; step < m; step++ {
+		vec := s.Vector(maxT, rate, buf)
+		tuple := a.Policy.Sample(vec, a.rng)
+		act := env.Action{Threads: tuple}.Clamp(maxT)
+		next, r := e.Step(act)
+		ro.states = append(ro.states, vec)
+		ro.actions = append(ro.actions, act.Threads)
+		ro.rewards = append(ro.rewards, r/scale)
+		ro.rawSum += r
+		s = next
+	}
+	return ro
+}
+
+func (a *DiscreteAgent) update(ro discreteRollout, opt *nn.Adam, cfg TrainConfig) {
+	n := len(ro.states)
+	states := tensor.FromRows(ro.states)
+
+	returns := make([]float64, n)
+	g := 0.0
+	for t := n - 1; t >= 0; t-- {
+		g = ro.rewards[t] + cfg.Gamma*g
+		returns[t] = g
+	}
+	returnsT := tensor.New(append([]float64(nil), returns...), n, 1)
+	oldLP := a.oldPolicy.LogProb(states, ro.actions).Clone()
+
+	for epoch := 0; epoch < cfg.UpdateEpochs; epoch++ {
+		opt.ZeroGrad()
+		newLP := a.Policy.LogProb(states, ro.actions)
+		values := a.Value.Forward(states)
+		adv := tensor.Sub(returnsT, values.Detach().Clone())
+
+		ratio := tensor.Exp(tensor.Sub(newLP, oldLP))
+		surr1 := tensor.Mul(ratio, adv)
+		surr2 := tensor.Mul(tensor.Clamp(ratio, 1-cfg.Clip, 1+cfg.Clip), adv)
+		actorLoss := tensor.Neg(tensor.Mean(tensor.Min(surr1, surr2)))
+		criticLoss := tensor.Scale(tensor.Mean(tensor.Square(tensor.Sub(returnsT, values))), cfg.CriticCoef)
+		entropy := a.Policy.Entropy(states)
+
+		loss := tensor.Sub(tensor.Add(actorLoss, criticLoss), tensor.Scale(entropy, cfg.EntropyCoef))
+		loss.Backward()
+		opt.Step()
+	}
+	a.syncOld()
+}
+
+// Train runs the Algorithm 2 loop with the discrete policy.
+func (a *DiscreteAgent) Train(e env.Environment, cfg TrainConfig) *TrainResult {
+	cfg = cfg.withDefaults()
+	if cfg.Seed != 0 {
+		a.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	opt := nn.NewAdam(a.allParams(), cfg.LR)
+	opt.MaxNorm = 5
+
+	res := &TrainResult{ConvergedAt: -1}
+	target := cfg.ConvergeFrac * cfg.Rmax * float64(cfg.StepsPerEpisode)
+	best := 0.0
+	stagnant := 0
+	for ep := 0; ep < cfg.Episodes; ep++ {
+		ro := a.collect(e, cfg.StepsPerEpisode, cfg.RewardScale)
+		a.update(ro, opt, cfg)
+		res.EpisodeRewards = append(res.EpisodeRewards, ro.rawSum)
+		res.Episodes = ep + 1
+		if ro.rawSum > best {
+			best = ro.rawSum
+			stagnant = 0
+		} else {
+			stagnant++
+		}
+		if cfg.Rmax > 0 && best >= target {
+			if res.ConvergedAt < 0 {
+				res.ConvergedAt = ep
+			}
+			if stagnant >= cfg.StagnantLimit {
+				res.Converged = true
+				break
+			}
+		}
+	}
+	res.BestReward = best
+	return res
+}

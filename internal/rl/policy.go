@@ -1,0 +1,220 @@
+// Package rl implements the Proximal Policy Optimization agent of
+// AutoMDT (§IV-D and Algorithm 2): a continuous Gaussian policy over the
+// concurrency tuple ⟨n_r, n_n, n_w⟩ with the residual policy/value
+// network architectures the paper describes, plus the discrete-action
+// variant used as the failed ablation of Fig. 4.
+package rl
+
+import (
+	"math"
+	"math/rand"
+
+	"automdt/internal/nn"
+	"automdt/internal/tensor"
+)
+
+// NetConfig sizes the policy and value networks. The zero value is
+// replaced by the paper's architecture: 256-wide embedding, three
+// residual blocks in the policy trunk, two tanh residual blocks in the
+// value trunk.
+type NetConfig struct {
+	StateDim     int
+	ActionDim    int
+	Hidden       int
+	PolicyBlocks int
+	ValueBlocks  int
+	// InitLogStd is the starting log standard deviation of the Gaussian
+	// head; the default of log(5) explores a wide range of thread counts.
+	InitLogStd float64
+	// MaxActions is the number of discrete choices per dimension for the
+	// discrete policy (thread counts 1..MaxActions).
+	MaxActions int
+}
+
+func (c NetConfig) withDefaults() NetConfig {
+	if c.StateDim <= 0 {
+		c.StateDim = 8
+	}
+	if c.ActionDim <= 0 {
+		c.ActionDim = 3
+	}
+	if c.Hidden <= 0 {
+		c.Hidden = 256
+	}
+	if c.PolicyBlocks <= 0 {
+		c.PolicyBlocks = 3
+	}
+	if c.ValueBlocks <= 0 {
+		c.ValueBlocks = 2
+	}
+	if c.InitLogStd == 0 {
+		// Actions are normalized by maxThreads, so an initial σ of 0.3
+		// explores roughly a third of the concurrency range.
+		c.InitLogStd = math.Log(0.3)
+	}
+	if c.MaxActions <= 0 {
+		c.MaxActions = 32
+	}
+	return c
+}
+
+// GaussianPolicy is the §IV-D-3 policy network: a linear embedding with
+// tanh, a stack of residual blocks (linear/LayerNorm/ReLU with skip), a
+// tanh, and a linear mean head, together with a trainable clamped log-std.
+type GaussianPolicy struct {
+	Trunk *nn.Sequential
+	Head  *nn.GaussianHead
+}
+
+// NewGaussianPolicy builds the policy network.
+func NewGaussianPolicy(cfg NetConfig, rng *rand.Rand) *GaussianPolicy {
+	cfg = cfg.withDefaults()
+	layers := []nn.Module{nn.NewLinear(cfg.StateDim, cfg.Hidden, rng), nn.Tanh{}}
+	for i := 0; i < cfg.PolicyBlocks; i++ {
+		layers = append(layers, nn.NewResidualBlock(cfg.Hidden, rng))
+	}
+	layers = append(layers, nn.Tanh{})
+	head := nn.NewGaussianHead(cfg.Hidden, cfg.ActionDim, cfg.InitLogStd, rng)
+	// In normalized action units, bound σ to [e^-3, e^0.7]≈[0.05, 2] so
+	// exploration can neither collapse nor swamp the concurrency range.
+	head.LogStdMin, head.LogStdMax = -3, 0.7
+	return &GaussianPolicy{
+		Trunk: nn.NewSequential(layers...),
+		Head:  head,
+	}
+}
+
+// MeanStd returns the Gaussian action distribution parameters for a batch
+// of states.
+func (p *GaussianPolicy) MeanStd(states *tensor.Tensor) (mean, std *tensor.Tensor) {
+	return p.Head.MeanStd(p.Trunk.Forward(states))
+}
+
+// Sample draws a continuous action for a single state vector.
+func (p *GaussianPolicy) Sample(state []float64, rng *rand.Rand) []float64 {
+	return p.Head.Sample(p.Trunk.Forward(tensor.New(append([]float64(nil), state...), 1, len(state))), rng)
+}
+
+// LogProb returns per-sample log-densities (B,1) of actions under the
+// current policy.
+func (p *GaussianPolicy) LogProb(states, actions *tensor.Tensor) *tensor.Tensor {
+	mean, std := p.MeanStd(states)
+	return nn.GaussianLogProb(mean, std, actions)
+}
+
+// Entropy returns the (state-independent) summed action entropy.
+func (p *GaussianPolicy) Entropy() *tensor.Tensor {
+	return nn.GaussianEntropy(p.Head.Std())
+}
+
+// Params implements nn.Module's parameter enumeration.
+func (p *GaussianPolicy) Params() []*tensor.Tensor {
+	return append(p.Trunk.Params(), p.Head.Params()...)
+}
+
+// Forward implements nn.Module (returns the action mean).
+func (p *GaussianPolicy) Forward(x *tensor.Tensor) *tensor.Tensor {
+	mean, _ := p.MeanStd(x)
+	return mean
+}
+
+// ValueNet is the §IV-D-4 value network: linear embedding with tanh, two
+// tanh residual blocks, and a scalar head.
+type ValueNet struct {
+	Net *nn.Sequential
+}
+
+// NewValueNet builds the critic.
+func NewValueNet(cfg NetConfig, rng *rand.Rand) *ValueNet {
+	cfg = cfg.withDefaults()
+	layers := []nn.Module{nn.NewLinear(cfg.StateDim, cfg.Hidden, rng), nn.Tanh{}}
+	for i := 0; i < cfg.ValueBlocks; i++ {
+		layers = append(layers, nn.NewTanhResidualBlock(cfg.Hidden, rng))
+	}
+	layers = append(layers, nn.NewLinear(cfg.Hidden, 1, rng))
+	return &ValueNet{Net: nn.NewSequential(layers...)}
+}
+
+// Forward implements nn.Module, returning (B,1) value estimates.
+func (v *ValueNet) Forward(states *tensor.Tensor) *tensor.Tensor {
+	return v.Net.Forward(states)
+}
+
+// Params implements nn.Module.
+func (v *ValueNet) Params() []*tensor.Tensor { return v.Net.Params() }
+
+// DiscretePolicy is the discrete-action-space ablation (§V-A, Fig. 4).
+// The paper defines "the concurrency values directly as actions"; in the
+// discrete formulation that is a single categorical distribution over
+// every concurrency tuple ⟨n_r, n_n, n_w⟩ ∈ [1, MaxActions]³ — a
+// MaxActions³-way choice. This combinatorial action space is exactly why
+// the discrete agent "failed miserably": the paper notes it would need a
+// far richer state space and far longer training to work.
+type DiscretePolicy struct {
+	Trunk *nn.Sequential
+	Head  *nn.CategoricalHead
+	// MaxActions is the per-dimension concurrency bound; the joint space
+	// has MaxActions³ actions.
+	MaxActions int
+}
+
+// NewDiscretePolicy builds the discrete variant.
+func NewDiscretePolicy(cfg NetConfig, rng *rand.Rand) *DiscretePolicy {
+	cfg = cfg.withDefaults()
+	layers := []nn.Module{nn.NewLinear(cfg.StateDim, cfg.Hidden, rng), nn.Tanh{}}
+	for i := 0; i < cfg.PolicyBlocks; i++ {
+		layers = append(layers, nn.NewResidualBlock(cfg.Hidden, rng))
+	}
+	layers = append(layers, nn.Tanh{})
+	n := cfg.MaxActions
+	return &DiscretePolicy{
+		Trunk:      nn.NewSequential(layers...),
+		Head:       nn.NewCategoricalHead(cfg.Hidden, n*n*n, rng),
+		MaxActions: cfg.MaxActions,
+	}
+}
+
+// encode maps a 1-based concurrency tuple to its joint action index.
+func (d *DiscretePolicy) encode(a [3]int) int {
+	n := d.MaxActions
+	return ((a[0]-1)*n+(a[1]-1))*n + (a[2] - 1)
+}
+
+// decode maps a joint action index back to the 1-based tuple.
+func (d *DiscretePolicy) decode(idx int) [3]int {
+	n := d.MaxActions
+	return [3]int{idx/(n*n) + 1, (idx/n)%n + 1, idx%n + 1}
+}
+
+// Sample draws a thread-count tuple (1-based) for a single state.
+func (d *DiscretePolicy) Sample(state []float64, rng *rand.Rand) [3]int {
+	f := d.Trunk.Forward(tensor.New(append([]float64(nil), state...), 1, len(state)))
+	return d.decode(d.Head.Sample(f, rng))
+}
+
+// LogProb returns the joint log-probability (B,1) of 1-based action
+// tuples under the current policy.
+func (d *DiscretePolicy) LogProb(states *tensor.Tensor, actions [][3]int) *tensor.Tensor {
+	f := d.Trunk.Forward(states)
+	idx := make([]int, len(actions))
+	for j, a := range actions {
+		idx[j] = d.encode(a)
+	}
+	return tensor.GatherCols(d.Head.LogProbs(f), idx)
+}
+
+// Entropy returns the mean entropy of the joint distribution over a batch
+// of states.
+func (d *DiscretePolicy) Entropy(states *tensor.Tensor) *tensor.Tensor {
+	return nn.CategoricalEntropy(d.Head.LogProbs(d.Trunk.Forward(states)))
+}
+
+// Params implements nn.Module's parameter enumeration.
+func (d *DiscretePolicy) Params() []*tensor.Tensor {
+	return append(d.Trunk.Params(), d.Head.Params()...)
+}
+
+// Forward implements nn.Module (returns trunk features).
+func (d *DiscretePolicy) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return d.Trunk.Forward(x)
+}

@@ -1,0 +1,296 @@
+package rl
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"automdt/internal/env"
+	"automdt/internal/metrics"
+	"automdt/internal/sim"
+	"automdt/internal/tensor"
+)
+
+// tinyNet keeps unit tests fast.
+func tinyNet() NetConfig {
+	return NetConfig{Hidden: 32, PolicyBlocks: 1, ValueBlocks: 1, MaxActions: 16}
+}
+
+func testEnv(seed int64) *env.SimEnv {
+	s := sim.New(sim.Config{
+		TPT:            [3]float64{80, 160, 200},
+		Bandwidth:      [3]float64{1000, 1000, 1000},
+		SenderBufCap:   500,
+		ReceiverBufCap: 500,
+		ChunkMb:        8,
+	})
+	e := env.NewSimEnv(s, rand.New(rand.NewSource(seed)))
+	e.MaxThreadsN = 16
+	return e
+}
+
+func TestGaussianPolicyShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewGaussianPolicy(tinyNet(), rng)
+	states := tensor.Zeros(4, 8)
+	mean, std := p.MeanStd(states)
+	if mean.Rows() != 4 || mean.Cols() != 3 {
+		t.Fatalf("mean shape %v", mean.Shape())
+	}
+	if std.Len() != 3 {
+		t.Fatalf("std len %d", std.Len())
+	}
+	lp := p.LogProb(states, tensor.Zeros(4, 3))
+	if lp.Rows() != 4 || lp.Cols() != 1 {
+		t.Fatalf("logprob shape %v", lp.Shape())
+	}
+	if p.Entropy().Len() != 1 {
+		t.Fatal("entropy should be scalar")
+	}
+}
+
+func TestGaussianPolicySampleFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := NewGaussianPolicy(tinyNet(), rng)
+	for i := 0; i < 20; i++ {
+		a := p.Sample(make([]float64, 8), rng)
+		if len(a) != 3 {
+			t.Fatalf("sample len %d", len(a))
+		}
+		for _, v := range a {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite sample %v", a)
+			}
+		}
+	}
+}
+
+func TestDiscretePolicySampleRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDiscretePolicy(tinyNet(), rng)
+	for i := 0; i < 50; i++ {
+		a := d.Sample(make([]float64, 8), rng)
+		for _, n := range a {
+			if n < 1 || n > 16 {
+				t.Fatalf("discrete action %v out of [1,16]", a)
+			}
+		}
+	}
+}
+
+func TestDiscreteLogProbNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := NewDiscretePolicy(tinyNet(), rng)
+	states := tensor.Zeros(3, 8)
+	lp := d.LogProb(states, [][3]int{{1, 2, 3}, {4, 5, 6}, {16, 1, 8}})
+	if lp.Rows() != 3 {
+		t.Fatalf("shape %v", lp.Shape())
+	}
+	for _, v := range lp.Data {
+		if v > 0 {
+			t.Fatalf("log-probability %v > 0", v)
+		}
+	}
+}
+
+func TestAgentSaveLoadRoundTrip(t *testing.T) {
+	a := NewAgent(tinyNet(), 5)
+	b := NewAgent(tinyNet(), 6)
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	states := tensor.Zeros(2, 8)
+	ma, _ := a.Policy.MeanStd(states)
+	mb, _ := b.Policy.MeanStd(states)
+	for i := range ma.Data {
+		if ma.Data[i] != mb.Data[i] {
+			t.Fatal("loaded agent differs")
+		}
+	}
+}
+
+func TestActReturnsValidAction(t *testing.T) {
+	a := NewAgent(tinyNet(), 7)
+	e := testEnv(7)
+	s := e.Reset()
+	for i := 0; i < 10; i++ {
+		act := a.Act(s, e)
+		for _, n := range act.Threads {
+			if n < 1 || n > e.MaxThreads() {
+				t.Fatalf("action %v out of range", act.Threads)
+			}
+		}
+	}
+}
+
+// The central learning test: a small agent trained briefly on the
+// simulator must substantially outperform a random policy.
+func TestTrainImprovesOverRandomPolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test skipped in -short mode")
+	}
+	e := testEnv(11)
+
+	// Random-policy baseline: mean episode utility over 200 episodes.
+	rng := rand.New(rand.NewSource(12))
+	randomTotal := 0.0
+	const baselineEpisodes = 200
+	for ep := 0; ep < baselineEpisodes; ep++ {
+		e.Reset()
+		for m := 0; m < 10; m++ {
+			act := env.Action{Threads: [3]int{1 + rng.Intn(16), 1 + rng.Intn(16), 1 + rng.Intn(16)}}
+			_, r := e.Step(act)
+			randomTotal += r
+		}
+	}
+	randomMean := randomTotal / baselineEpisodes
+
+	agent := NewAgent(tinyNet(), 13)
+	res := agent.Train(e, TrainConfig{
+		Episodes:        1000,
+		StepsPerEpisode: 10,
+		LR:              1e-3,
+		UpdateEpochs:    4,    // faster than the paper's single update; test budget
+		Rmax:            2550, // b≈1000 × Σ k^-n* for n*=[13,7,5]
+		StagnantLimit:   1e9,  // don't early-stop in this test
+		Seed:            14,
+	})
+	if len(res.EpisodeRewards) != res.Episodes {
+		t.Fatalf("reward series length %d != episodes %d", len(res.EpisodeRewards), res.Episodes)
+	}
+	lastMean := metrics.Summarize(res.EpisodeRewards[res.Episodes-100:]).Mean
+	if lastMean < randomMean*1.1 {
+		t.Fatalf("trained reward %.0f not ≥1.1× random %.0f", lastMean, randomMean)
+	}
+	// Learning converges fast with UpdateEpochs=4; compare against the
+	// very first episodes (pre-learning policy).
+	firstMean := metrics.Summarize(res.EpisodeRewards[:20]).Mean
+	if lastMean <= firstMean {
+		t.Fatalf("no learning: first-20 %.0f, last-100 %.0f", firstMean, lastMean)
+	}
+}
+
+func TestTrainConvergenceEarlyStop(t *testing.T) {
+	// A trivially rewarding environment: every episode immediately beats
+	// Rmax, so training should stop after StagnantLimit stagnant episodes.
+	e := testEnv(21)
+	agent := NewAgent(tinyNet(), 22)
+	res := agent.Train(e, TrainConfig{
+		Episodes:        500,
+		StepsPerEpisode: 5,
+		Rmax:            1, // absurdly low target → immediate convergence
+		StagnantLimit:   20,
+		Seed:            23,
+	})
+	if !res.Converged {
+		t.Fatal("expected convergence with trivial Rmax")
+	}
+	if res.Episodes >= 500 {
+		t.Fatal("early stop did not trigger")
+	}
+	if res.ConvergedAt < 0 {
+		t.Fatal("ConvergedAt not set")
+	}
+}
+
+func TestRestoreBest(t *testing.T) {
+	e := testEnv(31)
+	agent := NewAgent(tinyNet(), 32)
+	agent.Train(e, TrainConfig{Episodes: 30, StepsPerEpisode: 5, Rmax: 2700, StagnantLimit: 1e9, Seed: 33})
+	if agent.best == nil {
+		t.Fatal("no best checkpoint recorded")
+	}
+	// Corrupt the live policy, restore, and check it matches best.
+	for _, p := range agent.Policy.Params() {
+		for i := range p.Data {
+			p.Data[i] = 99
+		}
+	}
+	agent.RestoreBest()
+	all := agent.allParams()
+	for i, p := range all {
+		for j := range p.Data {
+			if p.Data[j] != agent.best[i].Data[j] {
+				t.Fatal("RestoreBest did not restore parameters")
+			}
+		}
+	}
+}
+
+func TestDiscreteAgentTrainsWithoutCrashing(t *testing.T) {
+	e := testEnv(41)
+	agent := NewDiscreteAgent(tinyNet(), 42)
+	res := agent.Train(e, TrainConfig{Episodes: 20, StepsPerEpisode: 5, Rmax: 2700, StagnantLimit: 1e9, Seed: 43})
+	if res.Episodes != 20 {
+		t.Fatalf("episodes %d", res.Episodes)
+	}
+	for _, r := range res.EpisodeRewards {
+		if math.IsNaN(r) {
+			t.Fatal("NaN episode reward")
+		}
+	}
+}
+
+func TestActMeanIsDeterministic(t *testing.T) {
+	a := NewAgent(tinyNet(), 51)
+	vec := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	first := a.ActMean(vec, 16)
+	for i := 0; i < 5; i++ {
+		if got := a.ActMean(vec, 16); got != first {
+			t.Fatalf("ActMean varied: %v vs %v", got, first)
+		}
+	}
+	for _, n := range first.Threads {
+		if n < 1 || n > 16 {
+			t.Fatalf("ActMean out of range: %v", first.Threads)
+		}
+	}
+}
+
+func TestActVecSamplesVary(t *testing.T) {
+	a := NewAgent(tinyNet(), 52)
+	vec := make([]float64, 8)
+	seen := map[[3]int]bool{}
+	for i := 0; i < 50; i++ {
+		seen[a.ActVec(vec, 16).Threads] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("sampled actions never varied; exploration broken")
+	}
+}
+
+func TestOOBPenaltyDefaultAndDisable(t *testing.T) {
+	c := TrainConfig{}.withDefaults()
+	if c.OOBPenalty != 0.5 {
+		t.Fatalf("OOBPenalty default %v", c.OOBPenalty)
+	}
+	c2 := TrainConfig{OOBPenalty: -1}.withDefaults()
+	if c2.OOBPenalty != -1 {
+		t.Fatalf("OOBPenalty disable overridden: %v", c2.OOBPenalty)
+	}
+}
+
+func TestTrainConfigDefaults(t *testing.T) {
+	c := TrainConfig{}.withDefaults()
+	if c.Episodes != 30000 || c.StepsPerEpisode != 10 || c.Gamma != 0.99 ||
+		c.Clip != 0.2 || c.EntropyCoef != 0.1 || c.CriticCoef != 0.5 ||
+		c.StagnantLimit != 1000 || c.ConvergeFrac != 0.9 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	c2 := TrainConfig{Rmax: 50}.withDefaults()
+	if c2.RewardScale != 50 {
+		t.Fatalf("RewardScale default should track Rmax, got %v", c2.RewardScale)
+	}
+}
+
+func TestNetConfigDefaultsMatchPaper(t *testing.T) {
+	c := NetConfig{}.withDefaults()
+	if c.Hidden != 256 || c.PolicyBlocks != 3 || c.ValueBlocks != 2 {
+		t.Fatalf("paper architecture defaults wrong: %+v", c)
+	}
+}

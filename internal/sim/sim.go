@@ -1,0 +1,309 @@
+// Package sim implements the lightweight I/O–network dynamics simulator
+// of AutoMDT (Algorithm 1 of the paper). It emulates one second of
+// modular transfer activity per Step call using a priority queue of
+// (time, threadType) tasks instead of real threads, tracking the
+// application-level staging buffers at the sender and receiver.
+//
+// The simulator is initialized with per-thread throughputs (TPT), aggregate
+// bandwidths, and buffer capacities measured during the exploration and
+// logging phase (internal/probe), and is what makes offline PPO training
+// possible: it replicates the buffer dynamics of Figure 1 — reads stall
+// when the sender buffer fills, network transfers need sender data and
+// receiver space, writes need receiver data — so the agent can learn the
+// coupled dynamics without touching a production network.
+//
+// Units: data volumes are megabits (Mb) and rates are megabits per second
+// (Mbps), matching the paper's reporting.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Stage identifies one of the three pipeline operations.
+type Stage int
+
+// The three pipeline stages of a modular transfer.
+const (
+	Read Stage = iota
+	Network
+	Write
+)
+
+// String returns the lowercase stage name.
+func (s Stage) String() string {
+	switch s {
+	case Read:
+		return "read"
+	case Network:
+		return "network"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// Config describes the emulated end-to-end path.
+type Config struct {
+	// TPT holds the per-thread throughput of each stage in Mbps
+	// (the maximum rate a single thread achieves).
+	TPT [3]float64
+	// Bandwidth holds the aggregate capacity of each stage in Mbps; a
+	// stage's total rate is min(n·TPT, Bandwidth). Zero means unlimited.
+	Bandwidth [3]float64
+	// SenderBufCap and ReceiverBufCap are staging buffer capacities
+	// in Mb (the tmpfs staging directories of the DTNs).
+	SenderBufCap   float64
+	ReceiverBufCap float64
+	// ChunkMb is the volume moved by one task execution. Defaults to 8 Mb
+	// (1 MB) if zero.
+	ChunkMb float64
+	// StepDuration is the simulated wall time per Step in seconds.
+	// Defaults to 1.
+	StepDuration float64
+	// RetryDelay is the ϵ re-queue delay for blocked tasks in seconds.
+	// Defaults to 2 ms.
+	RetryDelay float64
+	// Jitter, if positive, perturbs each task's effective rate uniformly
+	// by ±Jitter fraction, using the Rand source. This roughens the
+	// simulator during training so the policy does not overfit to exact
+	// dynamics. Typical value: 0.05.
+	Jitter float64
+	// Rand is the randomness source for jitter. May be nil when Jitter
+	// is zero.
+	Rand *rand.Rand
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.ChunkMb <= 0 {
+		out.ChunkMb = 8
+	}
+	if out.StepDuration <= 0 {
+		out.StepDuration = 1
+	}
+	if out.RetryDelay <= 0 {
+		out.RetryDelay = 0.002
+	}
+	return out
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	for s := Read; s <= Write; s++ {
+		if c.TPT[s] <= 0 {
+			return fmt.Errorf("sim: TPT[%s] must be positive, got %v", s, c.TPT[s])
+		}
+		if c.Bandwidth[s] < 0 {
+			return fmt.Errorf("sim: Bandwidth[%s] must be non-negative, got %v", s, c.Bandwidth[s])
+		}
+	}
+	if c.SenderBufCap <= 0 || c.ReceiverBufCap <= 0 {
+		return fmt.Errorf("sim: buffer capacities must be positive (sender %v, receiver %v)",
+			c.SenderBufCap, c.ReceiverBufCap)
+	}
+	return nil
+}
+
+// Result reports one simulated step.
+type Result struct {
+	// Throughput holds the achieved per-stage rates in Mbps, normalized
+	// by the step duration.
+	Throughput [3]float64
+	// SenderBufUsed and ReceiverBufUsed are staging occupancies in Mb at
+	// the end of the step.
+	SenderBufUsed   float64
+	ReceiverBufUsed float64
+	// SenderBufFree and ReceiverBufFree are the corresponding free space
+	// amounts — the key state signal of §IV-D-1.
+	SenderBufFree   float64
+	ReceiverBufFree float64
+}
+
+// Simulator is the event-driven dynamics model. It is not safe for
+// concurrent use; each training goroutine should own its own instance.
+type Simulator struct {
+	cfg Config
+
+	senderBuf   float64
+	receiverBuf float64
+
+	q taskQueue
+}
+
+// New creates a simulator from cfg. It panics if cfg is invalid; call
+// cfg.Validate first when handling untrusted input.
+func New(cfg Config) *Simulator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Simulator{cfg: cfg.withDefaults()}
+}
+
+// Config returns the simulator's (defaulted) configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Reset empties both staging buffers.
+func (s *Simulator) Reset() {
+	s.senderBuf = 0
+	s.receiverBuf = 0
+}
+
+// SetBuffers overrides the staging occupancies, clamping to capacity.
+// Used to randomize initial conditions between training episodes.
+func (s *Simulator) SetBuffers(sender, receiver float64) {
+	s.senderBuf = math.Max(0, math.Min(sender, s.cfg.SenderBufCap))
+	s.receiverBuf = math.Max(0, math.Min(receiver, s.cfg.ReceiverBufCap))
+}
+
+// Buffers returns the current sender and receiver staging occupancies.
+func (s *Simulator) Buffers() (sender, receiver float64) {
+	return s.senderBuf, s.receiverBuf
+}
+
+// SetBandwidth changes a stage's aggregate capacity at runtime, emulating
+// background traffic or a sysadmin re-throttle mid-transfer. Zero means
+// unlimited.
+func (s *Simulator) SetBandwidth(st Stage, mbps float64) {
+	if mbps < 0 {
+		mbps = 0
+	}
+	s.cfg.Bandwidth[st] = mbps
+}
+
+// SetTPT changes a stage's per-thread throughput at runtime (e.g. I/O
+// contention from a co-located job). The value must be positive.
+func (s *Simulator) SetTPT(st Stage, mbps float64) {
+	if mbps > 0 {
+		s.cfg.TPT[st] = mbps
+	}
+}
+
+// task is one scheduled thread work item.
+type task struct {
+	t     float64
+	stage Stage
+	seq   int
+}
+
+// taskQueue is a min-heap ordered by time, then sequence for determinism.
+type taskQueue []task
+
+func (q taskQueue) Len() int { return len(q) }
+func (q taskQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q taskQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *taskQueue) Push(x any)   { *q = append(*q, x.(task)) }
+func (q *taskQueue) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// effectiveRate returns a single thread's rate for the stage given n
+// concurrent threads: near-linear scaling capped by the aggregate
+// bandwidth share.
+func (s *Simulator) effectiveRate(st Stage, n int) float64 {
+	r := s.cfg.TPT[st]
+	if bw := s.cfg.Bandwidth[st]; bw > 0 && n > 0 {
+		r = math.Min(r, bw/float64(n))
+	}
+	if s.cfg.Jitter > 0 && s.cfg.Rand != nil {
+		r *= 1 + s.cfg.Jitter*(2*s.cfg.Rand.Float64()-1)
+	}
+	return r
+}
+
+// Step simulates cfg.StepDuration seconds of transfer with the given
+// thread counts (GET_UTILITY of Algorithm 1, minus the reward computation,
+// which belongs to the environment). Thread counts are clamped to be
+// non-negative. Buffer state persists across steps.
+func (s *Simulator) Step(nr, nn, nw int) Result {
+	cfg := &s.cfg
+	tEnd := cfg.StepDuration
+	var moved [3]float64
+
+	s.q = s.q[:0]
+	seq := 0
+	schedule := func(st Stage, count int) {
+		for i := 0; i < count; i++ {
+			s.q = append(s.q, task{t: 0, stage: st, seq: seq})
+			seq++
+		}
+	}
+	schedule(Read, max(0, nr))
+	schedule(Network, max(0, nn))
+	schedule(Write, max(0, nw))
+	heap.Init(&s.q)
+
+	counts := [3]int{max(0, nr), max(0, nn), max(0, nw)}
+	const tiny = 1e-9
+
+	for s.q.Len() > 0 {
+		tk := heap.Pop(&s.q).(task)
+		t := tk.t
+
+		// TASK(t, threadType): attempt one chunk move.
+		var avail float64
+		switch tk.stage {
+		case Read:
+			avail = cfg.SenderBufCap - s.senderBuf
+		case Network:
+			avail = math.Min(s.senderBuf, cfg.ReceiverBufCap-s.receiverBuf)
+		case Write:
+			avail = s.receiverBuf
+		}
+		var tNext float64
+		if avail <= tiny {
+			// Blocked: retry after ϵ.
+			tNext = t + cfg.RetryDelay
+		} else {
+			chunk := math.Min(cfg.ChunkMb, avail)
+			rate := s.effectiveRate(tk.stage, counts[tk.stage])
+			dTask := chunk / rate
+			if t+dTask > tEnd {
+				// Partial completion at the step boundary.
+				frac := (tEnd - t) / dTask
+				chunk *= frac
+				dTask = tEnd - t
+			}
+			moved[tk.stage] += chunk
+			switch tk.stage {
+			case Read:
+				s.senderBuf = math.Min(cfg.SenderBufCap, s.senderBuf+chunk)
+			case Network:
+				s.senderBuf = math.Max(0, s.senderBuf-chunk)
+				s.receiverBuf = math.Min(cfg.ReceiverBufCap, s.receiverBuf+chunk)
+			case Write:
+				s.receiverBuf = math.Max(0, s.receiverBuf-chunk)
+			}
+			tNext = t + dTask + tiny
+		}
+		if tNext < tEnd {
+			heap.Push(&s.q, task{t: tNext, stage: tk.stage, seq: seq})
+			seq++
+		}
+	}
+
+	res := Result{
+		SenderBufUsed:   s.senderBuf,
+		ReceiverBufUsed: s.receiverBuf,
+		SenderBufFree:   cfg.SenderBufCap - s.senderBuf,
+		ReceiverBufFree: cfg.ReceiverBufCap - s.receiverBuf,
+	}
+	for st := Read; st <= Write; st++ {
+		res.Throughput[st] = moved[st] / tEnd
+	}
+	return res
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,56 @@
+// Package static implements the Globus-like baseline of Table I: a
+// monolithic, statically configured optimizer. Globus (globus-url-copy)
+// is driven by fixed concurrency/parallelism settings chosen before the
+// transfer (the paper uses concurrency 4, parallelism 8) and never adapts;
+// its monolithic architecture couples the read, network, and write stages
+// to the same thread count.
+package static
+
+import "automdt/internal/env"
+
+// Controller applies a fixed concurrency to every stage.
+type Controller struct {
+	// Concurrency is the fixed stream count (paper's Globus setting: 4).
+	Concurrency int
+}
+
+// New creates a static monolithic controller.
+func New(concurrency int) *Controller {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	return &Controller{Concurrency: concurrency}
+}
+
+// Name implements env.Controller.
+func (c *Controller) Name() string { return "static" }
+
+// Decide implements env.Controller: the same fixed value for all stages,
+// regardless of observed state.
+func (c *Controller) Decide(env.State) env.Action {
+	return env.Action{Threads: [3]int{c.Concurrency, c.Concurrency, c.Concurrency}}
+}
+
+// Monolithic is an adaptive-but-coupled controller used in ablations: it
+// delegates to an inner controller and then forces all three stages to
+// the maximum of the chosen values, emulating the monolithic designs the
+// paper criticizes in §III (the slowest component dictates every stage's
+// concurrency).
+type Monolithic struct {
+	Inner env.Controller
+}
+
+// Name implements env.Controller.
+func (m *Monolithic) Name() string { return "monolithic(" + m.Inner.Name() + ")" }
+
+// Decide implements env.Controller.
+func (m *Monolithic) Decide(s env.State) env.Action {
+	a := m.Inner.Decide(s)
+	maxN := a.Threads[0]
+	for _, n := range a.Threads[1:] {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	return env.Action{Threads: [3]int{maxN, maxN, maxN}}
+}

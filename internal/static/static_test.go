@@ -1,0 +1,44 @@
+package static
+
+import (
+	"testing"
+
+	"automdt/internal/env"
+)
+
+func TestNewClampsToOne(t *testing.T) {
+	for _, n := range []int{-5, 0} {
+		if c := New(n); c.Concurrency != 1 {
+			t.Fatalf("New(%d).Concurrency = %d", n, c.Concurrency)
+		}
+	}
+}
+
+func TestDecideConstant(t *testing.T) {
+	c := New(7)
+	for i := 0; i < 5; i++ {
+		s := env.State{Throughput: [3]float64{float64(i), 0, 100}}
+		if a := c.Decide(s); a.Threads != [3]int{7, 7, 7} {
+			t.Fatalf("decision %d: %v", i, a.Threads)
+		}
+	}
+	if c.Name() != "static" {
+		t.Fatalf("name %q", c.Name())
+	}
+}
+
+func TestMonolithicTakesMax(t *testing.T) {
+	inner := fixed{[3]int{3, 8, 1}}
+	m := &Monolithic{Inner: inner}
+	if a := m.Decide(env.State{}); a.Threads != [3]int{8, 8, 8} {
+		t.Fatalf("monolithic %v", a.Threads)
+	}
+	if m.Name() != "monolithic(fixed)" {
+		t.Fatalf("name %q", m.Name())
+	}
+}
+
+type fixed struct{ n [3]int }
+
+func (f fixed) Name() string                { return "fixed" }
+func (f fixed) Decide(env.State) env.Action { return env.Action{Threads: f.n} }

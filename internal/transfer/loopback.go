@@ -1,0 +1,36 @@
+package transfer
+
+import (
+	"context"
+	"fmt"
+
+	"automdt/internal/env"
+	"automdt/internal/fsim"
+	"automdt/internal/workload"
+)
+
+// Loopback runs a complete sender→receiver transfer in-process over
+// 127.0.0.1 TCP, returning the sender-side result. It is the harness used
+// by tests, benchmarks, and examples to evaluate optimizers on the
+// emulated testbed.
+func Loopback(ctx context.Context, cfg Config, m workload.Manifest,
+	src, dst fsim.Store, ctrl env.Controller) (*Result, error) {
+
+	recv := NewReceiver(cfg, dst)
+	if err := recv.Listen("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	recvErr := make(chan error, 1)
+	go func() { recvErr <- recv.Serve(ctx) }()
+
+	send := &Sender{Cfg: cfg, Store: src, Manifest: m, Controller: ctrl}
+	res, err := send.Run(ctx, recv.DataAddr(), recv.CtrlAddr())
+	if err != nil {
+		<-recvErr // receiver is done or failing; surface the sender error
+		return nil, err
+	}
+	if rerr := <-recvErr; rerr != nil {
+		return res, fmt.Errorf("transfer: receiver: %w", rerr)
+	}
+	return res, nil
+}

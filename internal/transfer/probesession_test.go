@@ -1,0 +1,89 @@
+package transfer
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"automdt/internal/probe"
+)
+
+func TestProbeSessionMeasuresShapedPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed test skipped in -short mode")
+	}
+	cfg := Config{
+		ChunkBytes:     64 << 10,
+		MaxThreads:     8,
+		InitialThreads: 1,
+		ProbeInterval:  50 * time.Millisecond,
+		Shaping: Shaping{
+			ReadPerThreadMbps:  100,
+			NetPerStreamMbps:   100,
+			WritePerThreadMbps: 100,
+			LinkMbps:           400,
+		},
+	}
+	ps, err := NewProbeSession(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	// With 4 threads per stage at 100 Mbps per thread, each stage should
+	// measure in the few-hundred-Mbps range once flowing.
+	var tr, tn, tw float64
+	for attempt := 0; attempt < 5; attempt++ {
+		tr, tn, tw = ps.Probe(4, 4, 4)
+		if tw > 0 {
+			break
+		}
+	}
+	if tr <= 0 || tn <= 0 || tw <= 0 {
+		t.Fatalf("no flow measured: %v %v %v", tr, tn, tw)
+	}
+	if tr > 600 || tn > 600 || tw > 600 {
+		t.Fatalf("measured rates exceed shaped path: %v %v %v", tr, tn, tw)
+	}
+	if err := ps.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeSessionFeedsExplore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed test skipped in -short mode")
+	}
+	cfg := Config{
+		ChunkBytes:     64 << 10,
+		MaxThreads:     8,
+		InitialThreads: 1,
+		ProbeInterval:  40 * time.Millisecond,
+		Shaping: Shaping{
+			ReadPerThreadMbps:  80,
+			NetPerStreamMbps:   160,
+			WritePerThreadMbps: 200,
+			LinkMbps:           800,
+		},
+	}
+	ps, err := NewProbeSession(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	p, err := probe.Explore(ps, rand.New(rand.NewSource(3)),
+		probe.Options{Steps: 12, MaxThreads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bottleneck <= 0 || p.Rmax <= 0 {
+		t.Fatalf("degenerate profile: %s", p)
+	}
+	for i, tpt := range p.TPT {
+		if tpt <= 0 {
+			t.Fatalf("stage %d TPT %v", i, tpt)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package transfer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"automdt/internal/fsim"
+	"automdt/internal/metrics"
+	"automdt/internal/wire"
+)
+
+// Receiver is the destination-side engine: it accepts parallel data
+// connections, stages incoming chunks in a bounded buffer, and flushes
+// them to the destination store with a resizable write pool whose size is
+// commanded by the sender over the control channel.
+type Receiver struct {
+	Cfg   Config
+	Store fsim.Store
+
+	dataLn net.Listener
+	ctrlLn net.Listener
+
+	mu   sync.Mutex
+	err  error
+	done chan struct{}
+}
+
+// NewReceiver creates a receiver writing into store.
+func NewReceiver(cfg Config, store fsim.Store) *Receiver {
+	return &Receiver{Cfg: cfg.WithDefaults(), Store: store, done: make(chan struct{})}
+}
+
+// Listen binds the data and control listeners on the given host (use
+// "127.0.0.1:0" style addresses for tests). Call before Serve.
+func (r *Receiver) Listen(dataAddr, ctrlAddr string) error {
+	var err error
+	r.dataLn, err = net.Listen("tcp", dataAddr)
+	if err != nil {
+		return fmt.Errorf("transfer: listen data: %w", err)
+	}
+	r.ctrlLn, err = net.Listen("tcp", ctrlAddr)
+	if err != nil {
+		r.dataLn.Close()
+		return fmt.Errorf("transfer: listen control: %w", err)
+	}
+	return nil
+}
+
+// DataAddr returns the bound data listener address.
+func (r *Receiver) DataAddr() string { return r.dataLn.Addr().String() }
+
+// CtrlAddr returns the bound control listener address.
+func (r *Receiver) CtrlAddr() string { return r.ctrlLn.Addr().String() }
+
+func (r *Receiver) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil && err != nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+}
+
+// Err returns the first fatal error, if any.
+func (r *Receiver) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Serve handles exactly one transfer session and returns when the
+// transfer completes or fails. It must be called after Listen.
+func (r *Receiver) Serve(ctx context.Context) error {
+	defer close(r.done)
+	defer r.dataLn.Close()
+	defer r.ctrlLn.Close()
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Control connection first: it carries the session parameters.
+	ctrlRaw, err := r.ctrlLn.Accept()
+	if err != nil {
+		return fmt.Errorf("transfer: accept control: %w", err)
+	}
+	ctrl := wire.NewConn(ctrlRaw)
+	defer ctrl.Close()
+
+	hello, err := ctrl.Recv()
+	if err != nil || hello.Hello == nil {
+		return fmt.Errorf("transfer: bad hello (err=%v)", err)
+	}
+	h := hello.Hello
+
+	bufCap := r.Cfg.ReceiverBufBytes
+	if h.ReceiverBufBytes > 0 {
+		bufCap = h.ReceiverBufBytes
+	}
+	staging := NewStaging(bufCap)
+	defer staging.Close()
+
+	var total int64
+	writers := make([]fsim.FileWriter, len(h.Files))
+	var writerMu sync.Mutex
+	writerFor := func(id uint32) (fsim.FileWriter, error) {
+		if int(id) >= len(h.Files) {
+			return nil, fmt.Errorf("transfer: frame for unknown file id %d", id)
+		}
+		writerMu.Lock()
+		defer writerMu.Unlock()
+		if writers[id] == nil {
+			w, err := r.Store.Create(h.Files[id].Name, h.Files[id].Size)
+			if err != nil {
+				return nil, err
+			}
+			writers[id] = w
+		}
+		return writers[id], nil
+	}
+	defer func() {
+		writerMu.Lock()
+		for _, w := range writers {
+			if w != nil {
+				w.Close()
+			}
+		}
+		writerMu.Unlock()
+	}()
+	for _, f := range h.Files {
+		total += f.Size
+	}
+
+	bufPool := &sync.Pool{New: func() any { return make([]byte, r.Cfg.ChunkBytes) }}
+	alloc := func(n int) []byte {
+		b := bufPool.Get().([]byte)
+		if cap(b) < n {
+			bufPool.Put(b[:cap(b)])
+			return make([]byte, n)
+		}
+		return b[:n]
+	}
+
+	// Data connection acceptor: one reader goroutine per connection.
+	var readerWG sync.WaitGroup
+	go func() {
+		for {
+			conn, err := r.dataLn.Accept()
+			if err != nil {
+				return // listener closed on shutdown
+			}
+			readerWG.Add(1)
+			go func() {
+				defer readerWG.Done()
+				defer conn.Close()
+				for {
+					f, err := wire.ReadFrame(conn, alloc)
+					if err != nil {
+						if !errors.Is(err, io.EOF) {
+							r.fail(err)
+							cancel()
+						}
+						return
+					}
+					if !staging.Put(Chunk{FileID: f.FileID, Offset: f.Offset, Data: f.Data}) {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	// Write pool.
+	var written atomic.Int64
+	var writeCounter metrics.Counter
+	perThread := newLimiterSet(r.Cfg.Shaping.WritePerThreadMbps, r.Cfg.ChunkBytes)
+	agg := newLimiter(r.Cfg.Shaping.WriteAggMbps, r.Cfg.ChunkBytes)
+	writeDone := make(chan struct{})
+	var writeOnce sync.Once
+	if total == 0 {
+		// Nothing to move: the session is complete as soon as it starts.
+		writeOnce.Do(func() { close(writeDone) })
+	}
+	pool := NewPool(func(stop <-chan struct{}, id int) {
+		lim := perThread.get(id)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			default:
+			}
+			c, ok, closed := staging.TryGet()
+			if closed {
+				return
+			}
+			if !ok {
+				select {
+				case <-stop:
+					return
+				case <-ctx.Done():
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+				continue
+			}
+			if err := lim.WaitN(ctx, len(c.Data)); err != nil {
+				return
+			}
+			if err := agg.WaitN(ctx, len(c.Data)); err != nil {
+				return
+			}
+			w, err := writerFor(c.FileID)
+			if err != nil {
+				r.fail(err)
+				cancel()
+				return
+			}
+			if _, err := w.WriteAt(c.Data, c.Offset); err != nil {
+				r.fail(err)
+				cancel()
+				return
+			}
+			writeCounter.Add(int64(len(c.Data)))
+			if cap(c.Data) == r.Cfg.ChunkBytes {
+				bufPool.Put(c.Data[:cap(c.Data)])
+			}
+			if written.Add(int64(len(c.Data))) >= total {
+				writeOnce.Do(func() { close(writeDone) })
+			}
+		}
+	})
+	n := h.InitialWriters
+	if n <= 0 {
+		n = r.Cfg.InitialThreads
+	}
+	pool.Resize(n)
+	defer pool.Shutdown()
+
+	// Control loop: periodic status out, SetWriters commands in.
+	cmds := make(chan wire.Message, 8)
+	go func() {
+		for {
+			m, err := ctrl.Recv()
+			if err != nil {
+				return
+			}
+			select {
+			case cmds <- m:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	ticker := time.NewTicker(r.Cfg.ProbeInterval)
+	defer ticker.Stop()
+	sendStatus := func(done bool) error {
+		wBytes := writeCounter.Reset()
+		mbps := bytesToMb(wBytes) / r.Cfg.ProbeInterval.Seconds()
+		st := wire.Status{
+			WrittenBytes: written.Load(),
+			BufUsed:      staging.Used(),
+			BufFree:      staging.Free(),
+			WriteMbps:    mbps,
+			Writers:      pool.Size(),
+			Done:         done,
+		}
+		if e := r.Err(); e != nil {
+			st.Error = e.Error()
+		}
+		return ctrl.Send(wire.Message{Status: &st})
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			sendStatus(false)
+			return r.Err()
+		case <-writeDone:
+			if err := sendStatus(true); err != nil {
+				return err
+			}
+			return r.Err()
+		case m := <-cmds:
+			if m.SetWriters != nil {
+				n := m.SetWriters.N
+				if n > r.Cfg.MaxThreads {
+					n = r.Cfg.MaxThreads
+				}
+				if n < 1 {
+					n = 1
+				}
+				pool.Resize(n)
+			}
+		case <-ticker.C:
+			if err := sendStatus(false); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package transfer
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"automdt/internal/env"
+	"automdt/internal/fsim"
+	"automdt/internal/metrics"
+	"automdt/internal/wire"
+	"automdt/internal/workload"
+)
+
+// Result summarizes a completed transfer.
+type Result struct {
+	// Duration is the wall time from Run start to receiver completion.
+	Duration time.Duration
+	// Bytes is the payload volume transferred.
+	Bytes int64
+	// AvgMbps is the end-to-end goodput.
+	AvgMbps float64
+	// Controller names the optimizer that drove the run.
+	Controller string
+	// Recorder holds the per-tick concurrency and throughput traces
+	// (series: cc_read, cc_net, cc_write, thr_read, thr_net, thr_write),
+	// the raw material for the paper's figures.
+	Recorder *metrics.Recorder
+}
+
+// Sender is the source-side engine: a resizable read pool stages chunks
+// from the source store into a bounded buffer, and a resizable network
+// pool ships them over parallel TCP connections. Each probe interval the
+// Controller observes the state (thread counts, per-stage throughputs,
+// free buffer space at both ends — exactly the §IV-D-1 state) and
+// reassigns the concurrency tuple.
+type Sender struct {
+	Cfg        Config
+	Store      fsim.Store
+	Manifest   workload.Manifest
+	Controller env.Controller // nil keeps InitialThreads fixed
+
+	mu         sync.Mutex
+	err        error
+	lastStatus wire.Status
+}
+
+func (s *Sender) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil && err != nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the first fatal sender-side error.
+func (s *Sender) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *Sender) status() wire.Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastStatus
+}
+
+// chunker hands out sequential chunk references over the manifest.
+type chunker struct {
+	mu    sync.Mutex
+	files workload.Manifest
+	chunk int64
+	fi    int
+	off   int64
+	total int64 // total chunk count
+}
+
+func newChunker(m workload.Manifest, chunkBytes int) *chunker {
+	c := &chunker{files: m, chunk: int64(chunkBytes)}
+	for _, f := range m {
+		c.total += (f.Size + c.chunk - 1) / c.chunk
+	}
+	return c
+}
+
+// next returns the next chunk reference, or ok=false when exhausted.
+func (c *chunker) next() (fileID uint32, off int64, n int, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.fi < len(c.files) && c.off >= c.files[c.fi].Size {
+		c.fi++
+		c.off = 0
+	}
+	if c.fi >= len(c.files) {
+		return 0, 0, 0, false
+	}
+	f := c.files[c.fi]
+	size := c.chunk
+	if c.off+size > f.Size {
+		size = f.Size - c.off
+	}
+	fileID, off, n = uint32(c.fi), c.off, int(size)
+	c.off += size
+	return fileID, off, n, true
+}
+
+// Run executes the transfer against a receiver listening at the given
+// data and control addresses, returning when the receiver confirms
+// completion.
+func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (*Result, error) {
+	cfg := s.Cfg.WithDefaults()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	ctrlRaw, err := net.Dial("tcp", ctrlAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transfer: dial control: %w", err)
+	}
+	ctrl := wire.NewConn(ctrlRaw)
+	defer ctrl.Close()
+
+	files := make([]wire.FileInfo, len(s.Manifest))
+	for i, f := range s.Manifest {
+		files[i] = wire.FileInfo{Name: f.Name, Size: f.Size}
+	}
+	if err := ctrl.Send(wire.Message{Hello: &wire.Hello{
+		Files:            files,
+		ChunkBytes:       cfg.ChunkBytes,
+		MaxWriters:       cfg.MaxThreads,
+		InitialWriters:   cfg.InitialThreads,
+		ReceiverBufBytes: cfg.ReceiverBufBytes,
+	}}); err != nil {
+		return nil, fmt.Errorf("transfer: send hello: %w", err)
+	}
+
+	total := s.Manifest.TotalBytes()
+	staging := NewStaging(cfg.SenderBufBytes)
+	src := newChunker(s.Manifest, cfg.ChunkBytes)
+
+	// Per-file reader cache.
+	readers := make([]fsim.FileReader, len(s.Manifest))
+	var readerMu sync.Mutex
+	readerFor := func(id uint32) (fsim.FileReader, error) {
+		readerMu.Lock()
+		defer readerMu.Unlock()
+		if readers[id] == nil {
+			r, err := s.Store.Open(s.Manifest[id].Name, s.Manifest[id].Size)
+			if err != nil {
+				return nil, err
+			}
+			readers[id] = r
+		}
+		return readers[id], nil
+	}
+	defer func() {
+		readerMu.Lock()
+		for _, r := range readers {
+			if r != nil {
+				r.Close()
+			}
+		}
+		readerMu.Unlock()
+	}()
+
+	var readCounter, netCounter metrics.Counter
+	var chunksStaged atomic.Int64
+	bufPool := &sync.Pool{New: func() any { return make([]byte, cfg.ChunkBytes) }}
+	readPerThread := newLimiterSet(cfg.Shaping.ReadPerThreadMbps, cfg.ChunkBytes)
+	readAgg := newLimiter(cfg.Shaping.ReadAggMbps, cfg.ChunkBytes)
+	netPerStream := newLimiterSet(cfg.Shaping.NetPerStreamMbps, cfg.ChunkBytes)
+	link := newLimiter(cfg.Shaping.LinkMbps, cfg.ChunkBytes)
+
+	readPool := NewPool(func(stop <-chan struct{}, id int) {
+		lim := readPerThread.get(id)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			default:
+			}
+			fileID, off, n, ok := src.next()
+			if !ok {
+				return
+			}
+			if err := lim.WaitN(ctx, n); err != nil {
+				return
+			}
+			if err := readAgg.WaitN(ctx, n); err != nil {
+				return
+			}
+			r, err := readerFor(fileID)
+			if err != nil {
+				s.fail(err)
+				cancel()
+				return
+			}
+			var buf []byte
+			if n == cfg.ChunkBytes {
+				buf = bufPool.Get().([]byte)[:n]
+			} else {
+				buf = make([]byte, n)
+			}
+			if _, err := r.ReadAt(buf, off); err != nil {
+				s.fail(fmt.Errorf("transfer: read %s@%d: %w", s.Manifest[fileID].Name, off, err))
+				cancel()
+				return
+			}
+			readCounter.Add(int64(n))
+			if !staging.Put(Chunk{FileID: fileID, Offset: off, Data: buf}) {
+				return
+			}
+			if chunksStaged.Add(1) == src.total {
+				staging.Close() // all chunks staged; network drains the rest
+			}
+		}
+	})
+
+	netPool := NewPool(func(stop <-chan struct{}, id int) {
+		conn, err := net.Dial("tcp", dataAddr)
+		if err != nil {
+			s.fail(fmt.Errorf("transfer: dial data: %w", err))
+			cancel()
+			return
+		}
+		defer conn.Close()
+		lim := netPerStream.get(id)
+		for {
+			select {
+			case <-stop:
+				wire.WriteEnd(conn)
+				return
+			case <-ctx.Done():
+				return
+			default:
+			}
+			c, ok, closed := staging.TryGet()
+			if closed {
+				wire.WriteEnd(conn)
+				return
+			}
+			if !ok {
+				select {
+				case <-stop:
+					wire.WriteEnd(conn)
+					return
+				case <-ctx.Done():
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+				continue
+			}
+			if err := lim.WaitN(ctx, len(c.Data)); err != nil {
+				return
+			}
+			if err := link.WaitN(ctx, len(c.Data)); err != nil {
+				return
+			}
+			if err := wire.WriteFrame(conn, wire.Frame{
+				FileID: c.FileID, Offset: c.Offset, Data: c.Data, Checksum: cfg.Checksums,
+			}); err != nil {
+				s.fail(fmt.Errorf("transfer: send frame: %w", err))
+				cancel()
+				return
+			}
+			netCounter.Add(int64(len(c.Data)))
+			if cap(c.Data) == cfg.ChunkBytes {
+				bufPool.Put(c.Data[:cap(c.Data)])
+			}
+		}
+	})
+	// Cleanup order matters: closing the staging buffer first wakes
+	// readers blocked in Put so the pool shutdowns cannot deadlock.
+	defer func() {
+		staging.Close()
+		readPool.Shutdown()
+		netPool.Shutdown()
+	}()
+
+	// Control reader: receiver statuses and completion.
+	doneCh := make(chan struct{})
+	var doneOnce sync.Once
+	go func() {
+		for {
+			m, err := ctrl.Recv()
+			if err != nil {
+				select {
+				case <-doneCh:
+				default:
+					s.fail(fmt.Errorf("transfer: control channel: %w", err))
+					cancel()
+				}
+				return
+			}
+			if m.Status == nil {
+				continue
+			}
+			s.mu.Lock()
+			s.lastStatus = *m.Status
+			s.mu.Unlock()
+			if m.Status.Error != "" {
+				s.fail(fmt.Errorf("transfer: receiver: %s", m.Status.Error))
+				cancel()
+				return
+			}
+			if m.Status.Done {
+				doneOnce.Do(func() { close(doneCh) })
+				return
+			}
+		}
+	}()
+
+	readPool.Resize(cfg.InitialThreads)
+	netPool.Resize(cfg.InitialThreads)
+	writers := cfg.InitialThreads
+
+	rec := metrics.NewRecorder()
+	start := time.Now()
+	ticker := time.NewTicker(cfg.ProbeInterval)
+	defer ticker.Stop()
+
+	record := func() env.State {
+		now := time.Since(start).Seconds()
+		st := s.status()
+		dt := cfg.ProbeInterval.Seconds()
+		state := env.State{
+			Threads: [3]int{readPool.Size(), netPool.Size(), writers},
+			Throughput: [3]float64{
+				bytesToMb(readCounter.Reset()) / dt,
+				bytesToMb(netCounter.Reset()) / dt,
+				st.WriteMbps,
+			},
+			SenderFree:   bytesToMb(staging.Free()),
+			ReceiverFree: bytesToMb(st.BufFree),
+		}
+		rec.Series("cc_read").Record(now, float64(state.Threads[0]))
+		rec.Series("cc_net").Record(now, float64(state.Threads[1]))
+		rec.Series("cc_write").Record(now, float64(state.Threads[2]))
+		rec.Series("thr_read").Record(now, state.Throughput[0])
+		rec.Series("thr_net").Record(now, state.Throughput[1])
+		rec.Series("thr_write").Record(now, state.Throughput[2])
+		return state
+	}
+
+	ctrlName := "fixed"
+	if s.Controller != nil {
+		ctrlName = s.Controller.Name()
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			if err := s.Err(); err != nil {
+				return nil, err
+			}
+			return nil, ctx.Err()
+		case <-doneCh:
+			record()
+			d := time.Since(start)
+			return &Result{
+				Duration:   d,
+				Bytes:      total,
+				AvgMbps:    bytesToMb(total) / d.Seconds(),
+				Controller: ctrlName,
+				Recorder:   rec,
+			}, s.Err()
+		case <-ticker.C:
+			state := record()
+			if s.Controller == nil {
+				continue
+			}
+			act := s.Controller.Decide(state).Clamp(cfg.MaxThreads)
+			readPool.Resize(act.Threads[0])
+			netPool.Resize(act.Threads[1])
+			if act.Threads[2] != writers {
+				writers = act.Threads[2]
+				if err := ctrl.Send(wire.Message{SetWriters: &wire.SetWriters{N: writers}}); err != nil {
+					s.fail(fmt.Errorf("transfer: send SetWriters: %w", err))
+					cancel()
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package transfer implements the modular data transfer engine of
+// AutoMDT (§III): independent, dynamically resizable worker pools for the
+// read, network, and write stages, connected through bounded in-memory
+// staging buffers (the application-level /dev/shm analogue) and real TCP
+// data connections. A pluggable env.Controller reassigns the concurrency
+// tuple every probe interval, which is how the PPO agent, the Marlin
+// baseline, and the static baseline all drive the same engine.
+package transfer
+
+import (
+	"sync"
+)
+
+// Chunk is one unit of file data moving through the pipeline.
+type Chunk struct {
+	FileID uint32
+	Offset int64
+	Data   []byte
+}
+
+// Staging is a bounded FIFO of chunks with byte-based capacity
+// accounting. Put blocks while the buffer is full (the "sender buffer
+// full" condition of Fig. 1); Get blocks while it is empty. Closing wakes
+// all waiters.
+type Staging struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	capBytes int64
+	used     int64
+	q        []Chunk
+	head     int
+	closed   bool
+}
+
+// NewStaging creates a staging buffer holding up to capBytes of chunk
+// payload.
+func NewStaging(capBytes int64) *Staging {
+	s := &Staging{capBytes: capBytes}
+	s.notFull = sync.NewCond(&s.mu)
+	s.notEmpty = sync.NewCond(&s.mu)
+	return s
+}
+
+// Put appends a chunk, blocking until capacity is available. A chunk
+// larger than the whole capacity is admitted when the buffer is empty so
+// oversized chunks cannot deadlock. Put reports false if the staging
+// buffer was closed.
+func (s *Staging) Put(c Chunk) bool {
+	n := int64(len(c.Data))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.closed && s.used+n > s.capBytes && s.used > 0 {
+		s.notFull.Wait()
+	}
+	if s.closed {
+		return false
+	}
+	s.q = append(s.q, c)
+	s.used += n
+	s.notEmpty.Signal()
+	return true
+}
+
+// Get removes the oldest chunk, blocking until one is available. It
+// reports false when the buffer is closed and drained.
+func (s *Staging) Get() (Chunk, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.q)-s.head == 0 && !s.closed {
+		s.notEmpty.Wait()
+	}
+	if len(s.q)-s.head == 0 {
+		return Chunk{}, false
+	}
+	c := s.q[s.head]
+	s.q[s.head] = Chunk{} // release for GC
+	s.head++
+	if s.head == len(s.q) {
+		s.q = s.q[:0]
+		s.head = 0
+	}
+	s.used -= int64(len(c.Data))
+	s.notFull.Broadcast()
+	return c, true
+}
+
+// TryGet removes the oldest chunk without blocking. ok reports whether a
+// chunk was returned; closed reports that the buffer is closed and fully
+// drained. Worker loops that must respond to stop signals use TryGet in
+// a poll loop instead of the blocking Get.
+func (s *Staging) TryGet() (c Chunk, ok bool, closed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.q)-s.head == 0 {
+		return Chunk{}, false, s.closed
+	}
+	c = s.q[s.head]
+	s.q[s.head] = Chunk{}
+	s.head++
+	if s.head == len(s.q) {
+		s.q = s.q[:0]
+		s.head = 0
+	}
+	s.used -= int64(len(c.Data))
+	s.notFull.Broadcast()
+	return c, true, false
+}
+
+// Close marks the buffer closed; pending Gets drain remaining chunks,
+// pending and future Puts fail.
+func (s *Staging) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.notFull.Broadcast()
+	s.notEmpty.Broadcast()
+}
+
+// Used returns the occupied payload bytes.
+func (s *Staging) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Free returns the remaining capacity in bytes (never negative).
+func (s *Staging) Free() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.used >= s.capBytes {
+		return 0
+	}
+	return s.capBytes - s.used
+}
+
+// Cap returns the configured capacity in bytes.
+func (s *Staging) Cap() int64 { return s.capBytes }
+
+// Len returns the number of queued chunks.
+func (s *Staging) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.q) - s.head
+}

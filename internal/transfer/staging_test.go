@@ -1,0 +1,218 @@
+package transfer
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStagingFIFO(t *testing.T) {
+	s := NewStaging(1 << 20)
+	for i := 0; i < 5; i++ {
+		if !s.Put(Chunk{FileID: uint32(i), Data: make([]byte, 10)}) {
+			t.Fatal("Put failed")
+		}
+	}
+	for i := 0; i < 5; i++ {
+		c, ok := s.Get()
+		if !ok || c.FileID != uint32(i) {
+			t.Fatalf("Get %d: ok=%v id=%d", i, ok, c.FileID)
+		}
+	}
+	if s.Len() != 0 || s.Used() != 0 {
+		t.Fatalf("len=%d used=%d", s.Len(), s.Used())
+	}
+}
+
+func TestStagingAccounting(t *testing.T) {
+	s := NewStaging(100)
+	s.Put(Chunk{Data: make([]byte, 30)})
+	s.Put(Chunk{Data: make([]byte, 50)})
+	if s.Used() != 80 || s.Free() != 20 || s.Cap() != 100 {
+		t.Fatalf("used=%d free=%d cap=%d", s.Used(), s.Free(), s.Cap())
+	}
+}
+
+func TestStagingBlocksWhenFull(t *testing.T) {
+	s := NewStaging(100)
+	s.Put(Chunk{Data: make([]byte, 100)})
+	var progressed atomic.Bool
+	go func() {
+		s.Put(Chunk{Data: make([]byte, 50)})
+		progressed.Store(true)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if progressed.Load() {
+		t.Fatal("Put should block while full")
+	}
+	s.Get() // free space
+	for i := 0; i < 100 && !progressed.Load(); i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !progressed.Load() {
+		t.Fatal("Put did not unblock after space freed")
+	}
+}
+
+func TestStagingOversizedChunkAdmittedWhenEmpty(t *testing.T) {
+	s := NewStaging(10)
+	done := make(chan bool, 1)
+	go func() { done <- s.Put(Chunk{Data: make([]byte, 100)}) }()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("oversized Put failed")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("oversized Put deadlocked on empty buffer")
+	}
+}
+
+func TestStagingCloseDrains(t *testing.T) {
+	s := NewStaging(1000)
+	s.Put(Chunk{FileID: 1, Data: make([]byte, 10)})
+	s.Close()
+	if s.Put(Chunk{Data: make([]byte, 1)}) {
+		t.Fatal("Put after Close should fail")
+	}
+	if c, ok := s.Get(); !ok || c.FileID != 1 {
+		t.Fatal("Get should drain remaining chunks after Close")
+	}
+	if _, ok := s.Get(); ok {
+		t.Fatal("Get on drained closed buffer should report false")
+	}
+}
+
+func TestStagingCloseWakesBlockedGetters(t *testing.T) {
+	s := NewStaging(100)
+	done := make(chan struct{})
+	go func() {
+		s.Get()
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("blocked Get not woken by Close")
+	}
+}
+
+func TestTryGet(t *testing.T) {
+	s := NewStaging(100)
+	if _, ok, closed := s.TryGet(); ok || closed {
+		t.Fatal("TryGet on empty open buffer should be (!ok, !closed)")
+	}
+	s.Put(Chunk{FileID: 3, Data: make([]byte, 5)})
+	c, ok, _ := s.TryGet()
+	if !ok || c.FileID != 3 {
+		t.Fatalf("TryGet ok=%v id=%d", ok, c.FileID)
+	}
+	s.Close()
+	if _, ok, closed := s.TryGet(); ok || !closed {
+		t.Fatal("TryGet on closed drained buffer should report closed")
+	}
+}
+
+func TestStagingConcurrentProducersConsumers(t *testing.T) {
+	s := NewStaging(64 << 10)
+	const producers, perProducer = 4, 200
+	var produced, consumed atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if s.Put(Chunk{Data: make([]byte, 1024)}) {
+					produced.Add(1)
+				}
+			}
+		}()
+	}
+	var cwg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				_, ok := s.Get()
+				if !ok {
+					return
+				}
+				consumed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s.Close()
+	cwg.Wait()
+	if produced.Load() != producers*perProducer || consumed.Load() != produced.Load() {
+		t.Fatalf("produced=%d consumed=%d", produced.Load(), consumed.Load())
+	}
+}
+
+func TestPoolResize(t *testing.T) {
+	var active atomic.Int64
+	p := NewPool(func(stop <-chan struct{}, id int) {
+		active.Add(1)
+		defer active.Add(-1)
+		<-stop
+	})
+	p.Resize(5)
+	if p.Size() != 5 {
+		t.Fatalf("Size=%d", p.Size())
+	}
+	waitFor(t, func() bool { return active.Load() == 5 })
+	p.Resize(2)
+	waitFor(t, func() bool { return active.Load() == 2 })
+	p.Resize(7)
+	waitFor(t, func() bool { return active.Load() == 7 })
+	p.Shutdown()
+	waitFor(t, func() bool { return active.Load() == 0 })
+	if p.Size() != 0 {
+		t.Fatalf("Size after shutdown=%d", p.Size())
+	}
+}
+
+func TestPoolResizeNegativeClamps(t *testing.T) {
+	p := NewPool(func(stop <-chan struct{}, id int) { <-stop })
+	p.Resize(-1)
+	if p.Size() != 0 {
+		t.Fatalf("Size=%d", p.Size())
+	}
+	p.Shutdown()
+}
+
+func TestPoolWorkerIDsAreSlots(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]int{}
+	p := NewPool(func(stop <-chan struct{}, id int) {
+		mu.Lock()
+		seen[id]++
+		mu.Unlock()
+		<-stop
+	})
+	p.Resize(3)
+	p.Resize(1)
+	p.Resize(3) // slots 1,2 restarted
+	p.Shutdown()
+	mu.Lock()
+	defer mu.Unlock()
+	if seen[0] != 1 || seen[1] != 2 || seen[2] != 2 {
+		t.Fatalf("slot reuse wrong: %v", seen)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 500; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

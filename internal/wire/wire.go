@@ -1,0 +1,184 @@
+// Package wire defines the on-the-wire protocol between the sender and
+// receiver DTN processes: a binary chunk framing for the parallel data
+// connections, and a gob-encoded control channel (the "RPC channel" of
+// §IV-D-1) carrying the receiver's staging-buffer occupancy reports and
+// the sender's write-concurrency commands.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// EndStream is the FileID value marking the end of a data connection.
+const EndStream = ^uint32(0)
+
+// MaxChunk bounds the payload length of a single frame (16 MiB), guarding
+// decoders against corrupt headers.
+const MaxChunk = 16 << 20
+
+// FrameHeaderSize is the encoded size of a frame header: file id, offset,
+// length, and a CRC-32C of the payload.
+const FrameHeaderSize = 4 + 8 + 4 + 4
+
+// lengthChecksummed flags a length field whose frame carries a payload
+// checksum. The bit keeps checksummed and plain senders wire-compatible.
+const lengthChecksummed = uint32(1 << 31)
+
+// castagnoli is the CRC-32C table (the polynomial used by iSCSI and ext4,
+// with hardware support on modern CPUs).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame is one chunk of file data on a data connection.
+type Frame struct {
+	FileID uint32
+	Offset int64
+	Data   []byte
+	// Checksum, when true on write, adds a CRC-32C over the payload that
+	// the receiver verifies (end-to-end integrity, as Globus offers).
+	Checksum bool
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Data) > MaxChunk {
+		return fmt.Errorf("wire: frame payload %d exceeds limit %d", len(f.Data), MaxChunk)
+	}
+	var hdr [FrameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], f.FileID)
+	binary.BigEndian.PutUint64(hdr[4:12], uint64(f.Offset))
+	length := uint32(len(f.Data))
+	if f.Checksum {
+		length |= lengthChecksummed
+		binary.BigEndian.PutUint32(hdr[16:20], crc32.Checksum(f.Data, castagnoli))
+	}
+	binary.BigEndian.PutUint32(hdr[12:16], length)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.Data) > 0 {
+		if _, err := w.Write(f.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteEnd writes the end-of-stream marker to w.
+func WriteEnd(w io.Writer) error {
+	return WriteFrame(w, Frame{FileID: EndStream})
+}
+
+// ReadFrame reads one frame from r into a buffer obtained from alloc
+// (which must return a slice of at least the requested length). It
+// returns io.EOF (wrapped) only on a clean end-of-stream marker or a
+// closed connection at a frame boundary. Frames written with Checksum
+// set are verified; mismatches are hard errors.
+func ReadFrame(r io.Reader, alloc func(n int) []byte) (Frame, error) {
+	var hdr [FrameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("wire: read frame header: %w", err)
+	}
+	f := Frame{
+		FileID: binary.BigEndian.Uint32(hdr[0:4]),
+		Offset: int64(binary.BigEndian.Uint64(hdr[4:12])),
+	}
+	length := binary.BigEndian.Uint32(hdr[12:16])
+	if f.FileID == EndStream {
+		return f, io.EOF
+	}
+	f.Checksum = length&lengthChecksummed != 0
+	n := length &^ lengthChecksummed
+	want := binary.BigEndian.Uint32(hdr[16:20])
+	if n > MaxChunk {
+		return Frame{}, fmt.Errorf("wire: frame length %d exceeds limit %d", n, MaxChunk)
+	}
+	if n > 0 {
+		f.Data = alloc(int(n))[:n]
+		if _, err := io.ReadFull(r, f.Data); err != nil {
+			return Frame{}, fmt.Errorf("wire: read frame payload: %w", err)
+		}
+	}
+	if f.Checksum {
+		if got := crc32.Checksum(f.Data, castagnoli); got != want {
+			return Frame{}, fmt.Errorf("wire: checksum mismatch on file %d offset %d: %#x != %#x",
+				f.FileID, f.Offset, got, want)
+		}
+	}
+	return f, nil
+}
+
+// FileInfo describes one manifest entry on the control channel.
+type FileInfo struct {
+	Name string
+	Size int64
+}
+
+// Hello is the sender's opening message on the control channel.
+type Hello struct {
+	Files          []FileInfo
+	ChunkBytes     int
+	MaxWriters     int
+	InitialWriters int
+	// ReceiverBufBytes requests a staging capacity; zero keeps the
+	// receiver default.
+	ReceiverBufBytes int64
+}
+
+// SetWriters commands the receiver to resize its write pool (the
+// production-phase concurrency reassignment of §IV-F).
+type SetWriters struct {
+	N int
+}
+
+// Status is the receiver's periodic report: written bytes, staging
+// occupancy, and write throughput — the sender-side agent's view of the
+// far end.
+type Status struct {
+	WrittenBytes int64
+	BufUsed      int64
+	BufFree      int64
+	WriteMbps    float64
+	Writers      int
+	Done         bool
+	// Error carries a fatal receiver-side failure description.
+	Error string
+}
+
+// Message is the control-channel envelope; exactly one field is non-nil.
+type Message struct {
+	Hello      *Hello
+	SetWriters *SetWriters
+	Status     *Status
+}
+
+// Conn wraps a control connection with gob encoding in both directions.
+type Conn struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+	c   io.Closer
+}
+
+// NewConn wraps rw as a control channel.
+func NewConn(rw io.ReadWriteCloser) *Conn {
+	return &Conn{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw), c: rw}
+}
+
+// Send writes one control message.
+func (c *Conn) Send(m Message) error { return c.enc.Encode(&m) }
+
+// Recv reads the next control message.
+func (c *Conn) Recv() (Message, error) {
+	var m Message
+	err := c.dec.Decode(&m)
+	return m, err
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }

@@ -1,0 +1,81 @@
+// Package workload generates the transfer datasets used in the paper's
+// evaluation: uniform large-file sets (1000×1 GB in the paper, scaled
+// down here) and mixed datasets of log-uniformly distributed file sizes
+// between 100 KB and 2 GB (§V).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// File describes one file to transfer.
+type File struct {
+	Name string
+	Size int64
+}
+
+// Manifest is an ordered list of files.
+type Manifest []File
+
+// TotalBytes sums the file sizes.
+func (m Manifest) TotalBytes() int64 {
+	var n int64
+	for _, f := range m {
+		n += f.Size
+	}
+	return n
+}
+
+// LargeFiles builds the paper's "Dataset A" shape: count files of equal
+// size (the paper uses 1000 × 1 GB; benchmarks scale this down).
+func LargeFiles(count int, size int64) Manifest {
+	m := make(Manifest, count)
+	for i := range m {
+		m[i] = File{Name: fmt.Sprintf("large-%04d.dat", i), Size: size}
+	}
+	return m
+}
+
+// Mixed builds the paper's "Dataset B" shape: files with log-uniform
+// sizes in [minSize, maxSize] until totalBytes is reached (the paper uses
+// 1 TB of 100 KB–2 GB files). The final file is truncated to land exactly
+// on totalBytes. rng makes the draw reproducible.
+func Mixed(totalBytes, minSize, maxSize int64, rng *rand.Rand) Manifest {
+	if minSize <= 0 || maxSize < minSize || totalBytes <= 0 {
+		panic(fmt.Sprintf("workload: invalid Mixed parameters total=%d min=%d max=%d",
+			totalBytes, minSize, maxSize))
+	}
+	var m Manifest
+	var acc int64
+	logMin, logMax := math.Log(float64(minSize)), math.Log(float64(maxSize))
+	for acc < totalBytes {
+		sz := int64(math.Exp(logMin + rng.Float64()*(logMax-logMin)))
+		if sz < 1 {
+			sz = 1
+		}
+		if acc+sz > totalBytes {
+			sz = totalBytes - acc
+		}
+		m = append(m, File{Name: fmt.Sprintf("mixed-%05d.dat", len(m)), Size: sz})
+		acc += sz
+	}
+	return m
+}
+
+// Scale returns a copy of the manifest with every size multiplied by
+// factor (rounded down, minimum 1 byte). Used to shrink paper-scale
+// datasets to benchmark-scale ones while preserving the distribution
+// shape.
+func (m Manifest) Scale(factor float64) Manifest {
+	out := make(Manifest, len(m))
+	for i, f := range m {
+		sz := int64(float64(f.Size) * factor)
+		if sz < 1 {
+			sz = 1
+		}
+		out[i] = File{Name: f.Name, Size: sz}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLargeFiles(t *testing.T) {
+	m := LargeFiles(10, 1<<20)
+	if len(m) != 10 {
+		t.Fatalf("len=%d", len(m))
+	}
+	if m.TotalBytes() != 10<<20 {
+		t.Fatalf("total=%d", m.TotalBytes())
+	}
+	seen := map[string]bool{}
+	for _, f := range m {
+		if f.Size != 1<<20 {
+			t.Fatalf("size=%d", f.Size)
+		}
+		if seen[f.Name] {
+			t.Fatalf("duplicate name %q", f.Name)
+		}
+		seen[f.Name] = true
+	}
+}
+
+func TestMixedExactTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Mixed(10<<20, 100<<10, 2<<20, rng)
+	if m.TotalBytes() != 10<<20 {
+		t.Fatalf("total=%d want %d", m.TotalBytes(), 10<<20)
+	}
+	for i, f := range m[:len(m)-1] { // last file may be truncated
+		if f.Size < 100<<10 || f.Size > 2<<20 {
+			t.Fatalf("file %d size %d outside [100KiB, 2MiB]", i, f.Size)
+		}
+	}
+}
+
+func TestMixedSizeSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := Mixed(100<<20, 100<<10, 2<<20, rng)
+	small, large := 0, 0
+	for _, f := range m {
+		if f.Size < 512<<10 {
+			small++
+		}
+		if f.Size > 1<<20 {
+			large++
+		}
+	}
+	if small == 0 || large == 0 {
+		t.Fatalf("log-uniform draw degenerate: small=%d large=%d of %d", small, large, len(m))
+	}
+}
+
+func TestMixedPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mixed(100, 0, 10, rand.New(rand.NewSource(3)))
+}
+
+func TestScale(t *testing.T) {
+	m := Manifest{{Name: "a", Size: 1000}, {Name: "b", Size: 10}}
+	s := m.Scale(0.001)
+	if s[0].Size != 1 || s[1].Size != 1 {
+		t.Fatalf("scaled sizes %d %d", s[0].Size, s[1].Size)
+	}
+	if m[0].Size != 1000 {
+		t.Fatal("Scale mutated the original")
+	}
+}
+
+// Property: Mixed always hits the exact requested total and never emits
+// zero-size files.
+func TestQuickMixedInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		total := int64(1<<20 + rng.Intn(10<<20))
+		m := Mixed(total, 64<<10, 1<<20, rng)
+		if m.TotalBytes() != total {
+			return false
+		}
+		for _, f := range m {
+			if f.Size <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
