@@ -18,18 +18,24 @@ import (
 	"time"
 
 	"automdt/internal/experiments"
+	"automdt/internal/metrics"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	modeStr := flag.String("mode", "quick", "fidelity: quick or paper")
 	csvDir := flag.String("csv", "", "directory to write per-experiment trace CSVs (optional)")
+	metricsPath := flag.String("metrics", "", "file to write a text-format metrics snapshot of the run (optional)")
 	flag.Parse()
 
 	mode := experiments.Quick
 	if *modeStr == "paper" {
 		mode = experiments.Paper
 	}
+
+	// snap accumulates headline numbers in the same text format the
+	// scheduler daemon serves at /metrics.
+	var snap metrics.Snapshot
 
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
@@ -41,7 +47,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		snap.Add("bench_duration_seconds", elapsed.Seconds(), metrics.L("exp", name))
+		fmt.Printf("[%s took %v]\n", name, elapsed.Round(time.Millisecond))
+	}
+	recordCompare := func(name string, r *experiments.CompareResult) {
+		snap.Add("bench_avg_mbps", r.Auto.Run.AvgMbps,
+			metrics.L("exp", name), metrics.L("optimizer", "automdt"))
+		snap.Add("bench_avg_mbps", r.Marlin.Run.AvgMbps,
+			metrics.L("exp", name), metrics.L("optimizer", "marlin"))
+		// TimeToTarget is -1 when the target was never reached; skip the
+		// sample rather than export the sentinel as a duration.
+		if r.Auto.TimeToTarget >= 0 {
+			snap.Add("bench_time_to_target_seconds", r.Auto.TimeToTarget,
+				metrics.L("exp", name), metrics.L("optimizer", "automdt"))
+		}
+		if r.Marlin.TimeToTarget >= 0 {
+			snap.Add("bench_time_to_target_seconds", r.Marlin.TimeToTarget,
+				metrics.L("exp", name), metrics.L("optimizer", "marlin"))
+		}
 	}
 
 	writeCSV := func(name string, content string) {
@@ -71,6 +95,7 @@ func main() {
 		}
 		experiments.PrintCompare(os.Stdout, r)
 		compareCSV("fig3", r)
+		recordCompare("fig3", r)
 		return nil
 	})
 	run("fig4", func() error {
@@ -94,6 +119,7 @@ func main() {
 			}
 			experiments.PrintCompare(os.Stdout, r)
 			compareCSV(name, r)
+			recordCompare(name, r)
 			return nil
 		})
 	}
@@ -103,6 +129,12 @@ func main() {
 			return err
 		}
 		experiments.PrintTable1(os.Stdout, r)
+		for _, row := range r.Rows {
+			ds := metrics.L("dataset", row.Dataset)
+			snap.Add("bench_table1_mbps", row.GlobusMbps, ds, metrics.L("optimizer", "globus"))
+			snap.Add("bench_table1_mbps", row.MarlinMbps, ds, metrics.L("optimizer", "marlin"))
+			snap.Add("bench_table1_mbps", row.AutoMbps, ds, metrics.L("optimizer", "automdt"))
+		}
 		return nil
 	})
 	run("finetune", func() error {
@@ -144,4 +176,12 @@ func main() {
 		}
 		return nil
 	})
+
+	if *metricsPath != "" {
+		if err := os.WriteFile(*metricsPath, []byte(snap.Text()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %s]\n", *metricsPath)
+	}
 }

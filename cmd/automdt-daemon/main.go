@@ -1,0 +1,136 @@
+// Command automdt-daemon is the multi-tenant transfer scheduler service:
+// a long-running daemon that accepts transfer jobs over HTTP, queues them
+// by priority, and runs them concurrently under a global per-stage worker
+// budget split fair-share across active jobs (internal/sched).
+//
+// Start it with a host-wide budget:
+//
+//	automdt-daemon -addr :8080 -budget-read 32 -budget-net 32 -budget-write 32
+//
+// Submit, inspect, and cancel jobs:
+//
+//	curl -s localhost:8080/jobs -d '{"name":"nightly","priority":2,
+//	    "dataset":{"kind":"large","count":64,"size_bytes":67108864}}'
+//	curl -s localhost:8080/jobs          # list
+//	curl -s localhost:8080/jobs/1        # one job
+//	curl -s -X POST localhost:8080/jobs/1/cancel
+//	curl -s localhost:8080/metrics       # text-format metrics
+//
+// The per-job optimizer is chosen with -optimizer: marlin (default,
+// needs no training), static, or automdt with -model/-profile files
+// written by automdt-train.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"automdt/internal/core"
+	"automdt/internal/env"
+	"automdt/internal/marlin"
+	"automdt/internal/probe"
+	"automdt/internal/rl"
+	"automdt/internal/sched"
+	"automdt/internal/static"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	budgetRead := flag.Int("budget-read", 32, "global read worker budget")
+	budgetNet := flag.Int("budget-net", 32, "global network stream budget")
+	budgetWrite := flag.Int("budget-write", 32, "global write worker budget")
+	maxActive := flag.Int("max-active", 0, "max concurrent jobs (0 = min stage budget)")
+	opt := flag.String("optimizer", "marlin", "per-job optimizer: marlin, static, automdt")
+	cc := flag.Int("cc", 4, "static optimizer concurrency")
+	model := flag.String("model", "", "automdt agent checkpoint (from automdt-train)")
+	profilePath := flag.String("profile", "", "automdt probed profile JSON (from automdt-train)")
+	maxThreads := flag.Int("maxthreads", 32, "per-stage concurrency bound for automdt")
+	flag.Parse()
+
+	var newController func() env.Controller
+	switch *opt {
+	case "marlin":
+		newController = func() env.Controller { return marlin.New() }
+	case "static":
+		newController = func() env.Controller { return static.New(*cc) }
+	case "automdt":
+		if *model == "" || *profilePath == "" {
+			fatal(fmt.Errorf("automdt optimizer needs -model and -profile"))
+		}
+		pj, err := os.ReadFile(*profilePath)
+		if err != nil {
+			fatal(err)
+		}
+		var p probe.Profile
+		if err := json.Unmarshal(pj, &p); err != nil {
+			fatal(err)
+		}
+		f, err := os.Open(*model)
+		if err != nil {
+			fatal(err)
+		}
+		// Quick-mode training (the automdt-train default) uses the small
+		// network; the checkpoint architecture must match.
+		sys, err := core.LoadSystem(f, &p, core.Options{
+			MaxThreads: *maxThreads,
+			Net:        rl.NetConfig{Hidden: 32, PolicyBlocks: 1, ValueBlocks: 1},
+		})
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		// The mean-action controller is stateless, so one trained system
+		// safely drives every concurrent job.
+		newController = func() env.Controller { return sys.DeterministicController() }
+	default:
+		fatal(fmt.Errorf("unknown optimizer %q", *opt))
+	}
+
+	s, err := sched.New(sched.Config{
+		Budget:        [3]int{*budgetRead, *budgetNet, *budgetWrite},
+		MaxActive:     *maxActive,
+		NewController: newController,
+		Runner:        sched.LoopbackRunner{},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           sched.NewHandler(s),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("automdt-daemon: listening on %s (budget r/n/w = %d/%d/%d, max active %d, optimizer %s)\n",
+		*addr, *budgetRead, *budgetNet, *budgetWrite, s.MaxActive(), *opt)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		s.Close()
+		fatal(err)
+	case got := <-sig:
+		// Graceful shutdown: stop accepting, cancel in-flight jobs, wait
+		// for workers.
+		fmt.Printf("automdt-daemon: %v, shutting down\n", got)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		s.Close()
+	}
+}

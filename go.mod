@@ -1,0 +1,3 @@
+module automdt
+
+go 1.24

@@ -1,0 +1,82 @@
+package env
+
+import "sync"
+
+// BudgetCap wraps a Controller and clamps every decision to a per-stage
+// concurrency cap that an external arbiter may lower or raise at any time
+// (internal/sched splits a host-wide worker budget across concurrent
+// transfers this way). The wrapped controller still optimizes freely; the
+// cap is a hard ceiling applied after Decide, so budget enforcement never
+// depends on the controller cooperating.
+//
+// A nil inner controller yields a pass-through policy that simply holds
+// the current thread counts, clamped to the cap — budget enforcement over
+// otherwise fixed concurrency.
+//
+// BudgetCap is safe for concurrent use: the transfer engine calls Decide
+// from its control loop while the arbiter calls SetCap from another
+// goroutine.
+type BudgetCap struct {
+	inner Controller
+
+	mu  sync.Mutex
+	cap [3]int
+}
+
+// NewBudgetCap wraps inner with the given initial per-stage caps. Caps
+// below 1 are raised to 1: a live transfer can never run a stage with
+// zero workers.
+func NewBudgetCap(inner Controller, caps [3]int) *BudgetCap {
+	b := &BudgetCap{inner: inner}
+	b.SetCap(caps)
+	return b
+}
+
+// SetCap replaces the per-stage caps. Values below 1 are raised to 1.
+// The new caps apply from the next Decide call.
+func (b *BudgetCap) SetCap(caps [3]int) {
+	for i := range caps {
+		if caps[i] < 1 {
+			caps[i] = 1
+		}
+	}
+	b.mu.Lock()
+	b.cap = caps
+	b.mu.Unlock()
+}
+
+// Cap returns the current per-stage caps.
+func (b *BudgetCap) Cap() [3]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cap
+}
+
+// Name implements Controller.
+func (b *BudgetCap) Name() string {
+	if b.inner == nil {
+		return "budget"
+	}
+	return b.inner.Name() + "+budget"
+}
+
+// Decide implements Controller: it delegates to the inner controller and
+// clamps each stage's concurrency into [1, cap].
+func (b *BudgetCap) Decide(s State) Action {
+	var a Action
+	if b.inner != nil {
+		a = b.inner.Decide(s)
+	} else {
+		a = Action{Threads: s.Threads}
+	}
+	caps := b.Cap()
+	for i := range a.Threads {
+		if a.Threads[i] < 1 {
+			a.Threads[i] = 1
+		}
+		if a.Threads[i] > caps[i] {
+			a.Threads[i] = caps[i]
+		}
+	}
+	return a
+}

@@ -1,0 +1,78 @@
+package env
+
+import (
+	"sync"
+	"testing"
+)
+
+// wantAll is a greedy controller that always asks for n on every stage.
+type wantAll struct{ n int }
+
+func (w wantAll) Name() string        { return "greedy" }
+func (w wantAll) Decide(State) Action { return Action{Threads: [3]int{w.n, w.n, w.n}} }
+
+func TestBudgetCapClampsInner(t *testing.T) {
+	b := NewBudgetCap(wantAll{n: 32}, [3]int{4, 7, 2})
+	a := b.Decide(State{})
+	if a.Threads != [3]int{4, 7, 2} {
+		t.Fatalf("Decide = %v, want clamped to caps [4 7 2]", a.Threads)
+	}
+	b.SetCap([3]int{10, 10, 10})
+	if a := b.Decide(State{}); a.Threads != [3]int{10, 10, 10} {
+		t.Fatalf("after raise, Decide = %v, want [10 10 10]", a.Threads)
+	}
+}
+
+func TestBudgetCapFloorsAtOne(t *testing.T) {
+	b := NewBudgetCap(wantAll{n: 0}, [3]int{0, -3, 5})
+	if c := b.Cap(); c != [3]int{1, 1, 5} {
+		t.Fatalf("Cap = %v, want floors raised to 1", c)
+	}
+	if a := b.Decide(State{}); a.Threads != [3]int{1, 1, 1} {
+		t.Fatalf("Decide = %v, want at least one worker per stage", a.Threads)
+	}
+}
+
+func TestBudgetCapNilInnerHoldsState(t *testing.T) {
+	b := NewBudgetCap(nil, [3]int{8, 8, 8})
+	if b.Name() != "budget" {
+		t.Fatalf("Name = %q", b.Name())
+	}
+	st := State{Threads: [3]int{3, 12, 5}}
+	if a := b.Decide(st); a.Threads != [3]int{3, 8, 5} {
+		t.Fatalf("Decide = %v, want current threads clamped to cap", a.Threads)
+	}
+}
+
+func TestBudgetCapName(t *testing.T) {
+	b := NewBudgetCap(wantAll{n: 1}, [3]int{1, 1, 1})
+	if b.Name() != "greedy+budget" {
+		t.Fatalf("Name = %q, want greedy+budget", b.Name())
+	}
+}
+
+// TestBudgetCapConcurrent exercises SetCap racing Decide under -race.
+func TestBudgetCapConcurrent(t *testing.T) {
+	b := NewBudgetCap(wantAll{n: 32}, [3]int{1, 1, 1})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			b.SetCap([3]int{1 + i%8, 1 + i%4, 1 + i%2})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			a := b.Decide(State{})
+			for s := 0; s < 3; s++ {
+				if a.Threads[s] < 1 || a.Threads[s] > 8 {
+					t.Errorf("decision %v outside any cap ever set", a.Threads)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSnapshotText(t *testing.T) {
+	var s Snapshot
+	s.Add("jobs_active", 3)
+	s.Add("job_mbps", 912.5, L("job", "7"), L("ctrl", "automdt"))
+	got := s.Text()
+	want := "jobs_active 3\n" +
+		"job_mbps{job=\"7\",ctrl=\"automdt\"} 912.5\n"
+	if got != want {
+		t.Fatalf("Text:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSnapshotLabelEscaping(t *testing.T) {
+	var s Snapshot
+	s.Add("m", 1, L("name", "a\"b\\c\nd"))
+	got := s.Text()
+	want := `m{name="a\"b\\c\nd"} 1` + "\n"
+	if got != want {
+		t.Fatalf("Text = %q, want %q", got, want)
+	}
+}
+
+func TestSnapshotMergeAndSamples(t *testing.T) {
+	var a, b Snapshot
+	a.Add("x", 1)
+	b.Add("y", 2)
+	a.Merge(b)
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", a.Len())
+	}
+	got := a.Samples()
+	if got[0].Name != "x" || got[1].Name != "y" {
+		t.Fatalf("Samples order = %v", got)
+	}
+}
+
+func TestRecorderSnapshot(t *testing.T) {
+	r := NewRecorder()
+	r.Series("thr").Record(0, 100)
+	r.Series("thr").Record(1, 300)
+	r.Series("empty") // created but never recorded: skipped
+	snap := r.Snapshot("run_", L("job", "1"))
+	txt := snap.Text()
+	for _, want := range []string{
+		`run_thr_last{job="1"} 300`,
+		`run_thr_mean{job="1"} 200`,
+		`run_thr_max{job="1"} 300`,
+	} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("snapshot text missing %q:\n%s", want, txt)
+		}
+	}
+	if strings.Contains(txt, "empty") {
+		t.Errorf("empty series should be skipped:\n%s", txt)
+	}
+}

@@ -1,0 +1,75 @@
+package sched
+
+import "sort"
+
+// fairShare splits total worker slots among jobs proportionally to their
+// priority weights using the largest-remainder method, with two
+// invariants the scheduler's budget arbiter relies on:
+//
+//   - every job receives at least 1 slot (a live transfer cannot run a
+//     stage with zero workers), and
+//   - the shares sum to exactly min(total, ...) — never more than total —
+//     provided len(weights) <= total, which admission control guarantees.
+//
+// Weights below 1 count as 1. Ties in fractional remainder break toward
+// the earlier (older) job, keeping allocations deterministic.
+func fairShare(total int, weights []int) []int {
+	n := len(weights)
+	if n == 0 {
+		return nil
+	}
+	shares := make([]int, n)
+	for i := range shares {
+		shares[i] = 1
+	}
+	rem := total - n
+	if rem <= 0 {
+		return shares
+	}
+
+	wts := make([]int, n)
+	sumW := 0
+	for i, w := range weights {
+		// Clamp into [1, MaxPriority]: Submit already enforces this, but
+		// the arbiter must not overflow sumW for any caller.
+		if w < 1 {
+			w = 1
+		}
+		if w > MaxPriority {
+			w = MaxPriority
+		}
+		wts[i] = w
+		sumW += w
+	}
+
+	fracs := make([]float64, n)
+	used := 0
+	for i, w := range wts {
+		ideal := float64(rem) * float64(w) / float64(sumW)
+		base := int(ideal)
+		shares[i] += base
+		fracs[i] = ideal - float64(base)
+		used += base
+	}
+
+	left := rem - used
+	if left <= 0 {
+		return shares
+	}
+	if left > n {
+		// Unreachable with exact arithmetic; guards the top-up loop
+		// against ever indexing past idx.
+		left = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return fracs[idx[a]] > fracs[idx[b]]
+	})
+	for i := 0; i < left; i++ {
+		shares[idx[i]]++
+	}
+	return shares
+}

@@ -1,0 +1,29 @@
+package sched
+
+// jobQueue is a max-heap of queued jobs ordered by descending priority,
+// FIFO (ascending job ID) among equal priorities. Jobs cancelled while
+// queued stay in the heap and are skipped lazily at pop time, which keeps
+// Cancel O(1).
+type jobQueue []*Job
+
+func (q jobQueue) Len() int { return len(q) }
+
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].Spec.Priority != q[j].Spec.Priority {
+		return q[i].Spec.Priority > q[j].Spec.Priority
+	}
+	return q[i].ID < q[j].ID
+}
+
+func (q jobQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *jobQueue) Push(x any) { *q = append(*q, x.(*Job)) }
+
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	job := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return job
+}

@@ -1,0 +1,649 @@
+// Package sched is the transfer-job scheduler behind cmd/automdt-daemon:
+// it turns the single-transfer AutoMDT engine into a multi-tenant
+// service. Jobs (manifest + destination + priority) are queued by
+// priority and run concurrently, each driven by its own controller, while
+// a global budget arbiter splits the host's per-stage worker budget
+// ⟨read, net, write⟩ across the active jobs — fair-share weighted by
+// priority, rebalanced whenever a job starts or finishes, and enforced
+// through env.BudgetCap so no controller can exceed its slice.
+//
+// Job lifecycle: Queued → Running → Done | Failed | Cancelled, with
+// bounded retries (a failed attempt re-queues until MaxRetries is
+// exhausted).
+package sched
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"sync"
+
+	"automdt/internal/env"
+	"automdt/internal/fsim"
+	"automdt/internal/metrics"
+	"automdt/internal/transfer"
+	"automdt/internal/workload"
+)
+
+// JobState is a job's position in the lifecycle state machine.
+type JobState int
+
+const (
+	Queued JobState = iota
+	Running
+	Done
+	Failed
+	Cancelled
+)
+
+// String returns the lowercase state name used in the API and metrics.
+func (s JobState) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Cancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == Done || s == Failed || s == Cancelled
+}
+
+// jobStates lists every state, for metrics export.
+var jobStates = []JobState{Queued, Running, Done, Failed, Cancelled}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("sched: scheduler closed")
+
+// ErrNotFound is returned for unknown job IDs.
+var ErrNotFound = errors.New("sched: no such job")
+
+// ErrCancelled is recorded as a cancelled job's error.
+var ErrCancelled = errors.New("sched: job cancelled")
+
+// MaxPriority caps fair-share weights. Submit clamps into [1,
+// MaxPriority] so weight sums can never overflow in the arbiter no
+// matter what a client sends.
+const MaxPriority = 1 << 20
+
+// DefaultHistory is how many terminal jobs are retained (and exported in
+// List/Snapshot) before the oldest are evicted.
+const DefaultHistory = 1024
+
+// JobSpec describes one transfer job.
+type JobSpec struct {
+	// Name is a human-readable tag echoed in statuses and metrics.
+	Name string
+	// Manifest lists the files to move. Required.
+	Manifest workload.Manifest
+	// Priority is the fair-share weight (≥1; default 1). A priority-3 job
+	// holds three times the budget slice of a priority-1 job while both
+	// are active.
+	Priority int
+	// MaxRetries is how many times a failed attempt is re-queued before
+	// the job is marked Failed. 0 means a single attempt.
+	MaxRetries int
+	// Transfer parameterizes the engine for this job. Job-scoped hooks in
+	// Transfer.Hooks are preserved; the scheduler chains its own.
+	Transfer transfer.Config
+	// DestDir, for the loopback runner, is the directory to write into;
+	// empty means a synthetic sink (no disk).
+	DestDir string
+}
+
+// Job is the scheduler's record of one submitted transfer. All mutable
+// fields are guarded by the scheduler's lock; read them through Status.
+type Job struct {
+	ID   int64
+	Spec JobSpec
+
+	state     JobState
+	attempts  int
+	share     [3]int
+	cap       *env.BudgetCap
+	cancelJob context.CancelFunc
+	cancelled bool
+	err       error
+	result    *transfer.Result
+	last      env.State
+	ticks     int64
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	done      chan struct{}
+}
+
+// JobStatus is an immutable snapshot of a job, JSON-shaped for the
+// daemon API.
+type JobStatus struct {
+	ID         int64      `json:"id"`
+	Name       string     `json:"name"`
+	State      string     `json:"state"`
+	Priority   int        `json:"priority"`
+	Attempts   int        `json:"attempts"`
+	Share      [3]int     `json:"share"`
+	Threads    [3]int     `json:"threads"`
+	Throughput [3]float64 `json:"throughput_mbps"`
+	TotalBytes int64      `json:"total_bytes"`
+	AvgMbps    float64    `json:"avg_mbps,omitempty"`
+	Seconds    float64    `json:"duration_sec,omitempty"`
+	Error      string     `json:"error,omitempty"`
+	Submitted  time.Time  `json:"submitted_at"`
+	Started    time.Time  `json:"started_at,omitzero"`
+	Finished   time.Time  `json:"finished_at,omitzero"`
+}
+
+// Runner executes one attempt of a job under the given (budget-capped)
+// controller, honouring ctx cancellation.
+type Runner interface {
+	Run(ctx context.Context, spec JobSpec, ctrl env.Controller) (*transfer.Result, error)
+}
+
+// RunnerFunc adapts a function to Runner.
+type RunnerFunc func(ctx context.Context, spec JobSpec, ctrl env.Controller) (*transfer.Result, error)
+
+// Run implements Runner.
+func (f RunnerFunc) Run(ctx context.Context, spec JobSpec, ctrl env.Controller) (*transfer.Result, error) {
+	return f(ctx, spec, ctrl)
+}
+
+// LoopbackRunner runs each job as an in-process sender→receiver transfer
+// over 127.0.0.1 TCP: synthetic source content, destination a real
+// directory when DestDir is set, else a synthetic sink.
+type LoopbackRunner struct {
+	// Verify makes synthetic sinks check written bytes against the
+	// expected deterministic content.
+	Verify bool
+}
+
+// Run implements Runner.
+func (r LoopbackRunner) Run(ctx context.Context, spec JobSpec, ctrl env.Controller) (*transfer.Result, error) {
+	src := fsim.NewSyntheticStore()
+	var dst fsim.Store
+	if spec.DestDir != "" {
+		d, err := fsim.NewDirStore(spec.DestDir)
+		if err != nil {
+			return nil, err
+		}
+		dst = d
+	} else {
+		sink := fsim.NewSyntheticStore()
+		sink.Verify = r.Verify
+		dst = sink
+	}
+	return transfer.Loopback(ctx, spec.Transfer, spec.Manifest, src, dst, ctrl)
+}
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Budget is the host-wide worker budget per stage ⟨read, net, write⟩.
+	// Every component must be ≥ 1. The arbiter guarantees the summed
+	// per-job caps never exceed it.
+	Budget [3]int
+	// MaxActive caps concurrently running jobs. It is clamped to the
+	// smallest stage budget so every active job can hold at least one
+	// worker per stage; 0 means that clamp alone.
+	MaxActive int
+	// NewController builds each job's optimizer (wrapped in an
+	// env.BudgetCap by the scheduler). nil holds jobs at their initial
+	// concurrency, still budget-capped.
+	NewController func() env.Controller
+	// Runner executes job attempts. Default: LoopbackRunner{}.
+	Runner Runner
+	// History is how many terminal jobs to retain for List/Status/
+	// Snapshot before evicting the oldest (the daemon would otherwise
+	// grow without bound). 0 means DefaultHistory.
+	History int
+
+	// onRebalance, when set by tests, observes every arbiter allocation
+	// (jobID → per-stage share). Called with the scheduler lock held.
+	onRebalance func(map[int64][3]int)
+}
+
+// Scheduler queues and runs transfer jobs under a global budget.
+type Scheduler struct {
+	cfg       Config
+	maxActive int
+	history   int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	nextID  int64
+	jobs    map[int64]*Job
+	order   []*Job
+	queue   jobQueue
+	active  map[int64]*Job
+	retries int64
+}
+
+// New validates cfg and returns a running (initially idle) scheduler.
+func New(cfg Config) (*Scheduler, error) {
+	minBudget := cfg.Budget[0]
+	for _, b := range cfg.Budget {
+		if b < 1 {
+			return nil, fmt.Errorf("sched: every stage budget must be ≥ 1, got %v", cfg.Budget)
+		}
+		if b < minBudget {
+			minBudget = b
+		}
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = LoopbackRunner{}
+	}
+	maxActive := cfg.MaxActive
+	if maxActive <= 0 || maxActive > minBudget {
+		maxActive = minBudget
+	}
+	history := cfg.History
+	if history <= 0 {
+		history = DefaultHistory
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Scheduler{
+		cfg:       cfg,
+		maxActive: maxActive,
+		history:   history,
+		ctx:       ctx,
+		cancel:    cancel,
+		jobs:      make(map[int64]*Job),
+		active:    make(map[int64]*Job),
+	}, nil
+}
+
+// Budget returns the configured per-stage budget.
+func (s *Scheduler) Budget() [3]int { return s.cfg.Budget }
+
+// MaxActive returns the effective concurrent-job cap.
+func (s *Scheduler) MaxActive() int { return s.maxActive }
+
+// Submit queues a job and returns its ID. The job starts as soon as a
+// slot is free.
+func (s *Scheduler) Submit(spec JobSpec) (int64, error) {
+	if len(spec.Manifest) == 0 {
+		return 0, errors.New("sched: job manifest is empty")
+	}
+	if spec.Priority <= 0 {
+		spec.Priority = 1
+	}
+	if spec.Priority > MaxPriority {
+		spec.Priority = MaxPriority
+	}
+	if spec.MaxRetries < 0 {
+		spec.MaxRetries = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	s.nextID++
+	job := &Job{
+		ID:        s.nextID,
+		Spec:      spec,
+		state:     Queued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job)
+	heap.Push(&s.queue, job)
+	s.schedule()
+	return job.ID, nil
+}
+
+// schedule starts queued jobs while slots are free, then rebalances the
+// budget. Caller holds mu.
+func (s *Scheduler) schedule() {
+	if s.closed {
+		return
+	}
+	for len(s.active) < s.maxActive && s.queue.Len() > 0 {
+		job := heap.Pop(&s.queue).(*Job)
+		if job.state != Queued {
+			continue // cancelled while queued
+		}
+		s.start(job)
+	}
+	s.rebalance()
+}
+
+// start moves a queued job to Running and launches its worker. Caller
+// holds mu.
+func (s *Scheduler) start(job *Job) {
+	job.state = Running
+	job.attempts++
+	if job.started.IsZero() {
+		job.started = time.Now()
+	}
+	var inner env.Controller
+	if s.cfg.NewController != nil {
+		inner = s.cfg.NewController()
+	}
+	job.cap = env.NewBudgetCap(inner, [3]int{1, 1, 1})
+	ctx, cancel := context.WithCancel(s.ctx)
+	job.cancelJob = cancel
+	s.active[job.ID] = job
+	s.wg.Add(1)
+	go s.runJob(ctx, job)
+}
+
+// runJob executes one attempt and routes the outcome through finish.
+func (s *Scheduler) runJob(ctx context.Context, job *Job) {
+	defer s.wg.Done()
+	spec := job.Spec
+	userTick := spec.Transfer.Hooks.OnTick
+	spec.Transfer.Hooks.OnTick = func(st env.State) {
+		s.mu.Lock()
+		job.last = st
+		job.ticks++
+		s.mu.Unlock()
+		if userTick != nil {
+			userTick(st)
+		}
+	}
+	res, err := s.cfg.Runner.Run(ctx, spec, job.cap)
+	s.finish(job, res, err)
+}
+
+// finish records an attempt's outcome, re-queues retryable failures,
+// releases the job's budget slice, and starts waiting work.
+func (s *Scheduler) finish(job *Job, res *transfer.Result, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.active, job.ID)
+	job.cancelJob()
+	switch {
+	case err == nil:
+		job.state = Done
+		job.result = res
+		job.err = nil
+	case job.cancelled || s.ctx.Err() != nil:
+		job.state = Cancelled
+		job.err = ErrCancelled
+	default:
+		job.err = err
+		if job.attempts <= job.Spec.MaxRetries {
+			job.state = Queued
+			s.retries++
+			heap.Push(&s.queue, job)
+		} else {
+			job.state = Failed
+		}
+	}
+	if job.state.Terminal() {
+		job.finished = time.Now()
+		close(job.done)
+		s.evictLocked()
+	}
+	s.schedule()
+}
+
+// evictLocked drops the oldest terminal jobs beyond the history cap so a
+// long-running daemon's memory and /metrics cardinality stay bounded.
+// Evicted jobs disappear from Status/List/Snapshot. Caller holds mu.
+func (s *Scheduler) evictLocked() {
+	excess := -s.history
+	for _, j := range s.order {
+		if j.state.Terminal() {
+			excess++
+		}
+	}
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, j := range s.order {
+		if excess > 0 && j.state.Terminal() {
+			delete(s.jobs, j.ID)
+			excess--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	// Let the tail entries be collected.
+	for i := len(kept); i < len(s.order); i++ {
+		s.order[i] = nil
+	}
+	s.order = kept
+}
+
+// rebalance splits the per-stage budget across active jobs by priority
+// weight and pushes the new caps into each job's BudgetCap. Caller holds
+// mu. The invariant asserted by tests: for every stage, the assigned
+// shares sum to at most the stage budget.
+func (s *Scheduler) rebalance() {
+	alloc := make(map[int64][3]int, len(s.active))
+	if len(s.active) > 0 {
+		ids := make([]int64, 0, len(s.active))
+		for id := range s.active {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		weights := make([]int, len(ids))
+		for i, id := range ids {
+			weights[i] = s.active[id].Spec.Priority
+		}
+		for stage := 0; stage < 3; stage++ {
+			shares := fairShare(s.cfg.Budget[stage], weights)
+			for i, id := range ids {
+				a := alloc[id]
+				a[stage] = shares[i]
+				alloc[id] = a
+			}
+		}
+		for id, sh := range alloc {
+			job := s.active[id]
+			job.share = sh
+			job.cap.SetCap(sh)
+		}
+	}
+	if s.cfg.onRebalance != nil {
+		s.cfg.onRebalance(alloc)
+	}
+}
+
+// Cancel cancels a queued or running job. Cancelling a running job
+// cancels its transfer context; the job reaches Cancelled once its
+// worker returns (wait on Wait).
+func (s *Scheduler) Cancel(id int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	switch job.state {
+	case Queued:
+		job.cancelled = true
+		job.state = Cancelled
+		job.err = ErrCancelled
+		job.finished = time.Now()
+		close(job.done)
+		s.evictLocked()
+		return nil
+	case Running:
+		job.cancelled = true
+		job.cancelJob()
+		return nil
+	default:
+		return fmt.Errorf("sched: job %d already %s", id, job.state)
+	}
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (s *Scheduler) Wait(ctx context.Context, id int64) (JobStatus, error) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	select {
+	case <-job.done:
+		return s.Status(id)
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+}
+
+// Drain blocks until every submitted job is terminal or ctx expires.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	for {
+		s.mu.Lock()
+		var pending chan struct{}
+		for _, job := range s.order {
+			if !job.state.Terminal() {
+				pending = job.done
+				break
+			}
+		}
+		s.mu.Unlock()
+		if pending == nil {
+			return nil
+		}
+		select {
+		case <-pending:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Close stops the scheduler: queued jobs are cancelled, running
+// transfers' contexts are cancelled, and Close blocks until all workers
+// return. Submit fails with ErrClosed afterwards.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		for s.queue.Len() > 0 {
+			job := heap.Pop(&s.queue).(*Job)
+			if job.state != Queued {
+				continue
+			}
+			job.cancelled = true
+			job.state = Cancelled
+			job.err = ErrCancelled
+			job.finished = time.Now()
+			close(job.done)
+		}
+		for _, job := range s.active {
+			job.cancelled = true
+		}
+	}
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+}
+
+// statusLocked snapshots a job. Caller holds mu.
+func (s *Scheduler) statusLocked(job *Job) JobStatus {
+	st := JobStatus{
+		ID:         job.ID,
+		Name:       job.Spec.Name,
+		State:      job.state.String(),
+		Priority:   job.Spec.Priority,
+		Attempts:   job.attempts,
+		Share:      job.share,
+		Threads:    job.last.Threads,
+		Throughput: job.last.Throughput,
+		TotalBytes: job.Spec.Manifest.TotalBytes(),
+		Submitted:  job.submitted,
+		Started:    job.started,
+		Finished:   job.finished,
+	}
+	if job.result != nil {
+		st.AvgMbps = job.result.AvgMbps
+		st.Seconds = job.result.Duration.Seconds()
+	}
+	if job.err != nil {
+		st.Error = job.err.Error()
+	}
+	return st
+}
+
+// Status snapshots one job.
+func (s *Scheduler) Status(id int64) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return s.statusLocked(job), nil
+}
+
+// List snapshots all jobs in submission order.
+func (s *Scheduler) List() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, len(s.order))
+	for i, job := range s.order {
+		out[i] = s.statusLocked(job)
+	}
+	return out
+}
+
+var stageNames = [3]string{"read", "net", "write"}
+
+// Snapshot exports the scheduler's state as a metrics snapshot: global
+// budget and job counts, plus per-active-job shares, observed threads and
+// throughputs, and per-completed-job results.
+func (s *Scheduler) Snapshot() metrics.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var snap metrics.Snapshot
+	for i, name := range stageNames {
+		snap.Add("automdt_sched_budget", float64(s.cfg.Budget[i]), metrics.L("stage", name))
+	}
+	counts := make(map[JobState]int)
+	var bytesDone int64
+	for _, job := range s.order {
+		counts[job.state]++
+		if job.state == Done && job.result != nil {
+			bytesDone += job.result.Bytes
+		}
+	}
+	for _, st := range jobStates {
+		snap.Add("automdt_sched_jobs", float64(counts[st]), metrics.L("state", st.String()))
+	}
+	snap.Add("automdt_sched_submitted_total", float64(len(s.order)))
+	snap.Add("automdt_sched_retries_total", float64(s.retries))
+	snap.Add("automdt_sched_bytes_done_total", float64(bytesDone))
+	for _, job := range s.order {
+		id := metrics.L("job", strconv.FormatInt(job.ID, 10))
+		switch job.state {
+		case Running:
+			for i, name := range stageNames {
+				stage := metrics.L("stage", name)
+				snap.Add("automdt_job_share", float64(job.share[i]), id, stage)
+				snap.Add("automdt_job_threads", float64(job.last.Threads[i]), id, stage)
+				snap.Add("automdt_job_throughput_mbps", job.last.Throughput[i], id, stage)
+			}
+		case Done:
+			if job.result != nil {
+				snap.Add("automdt_job_avg_mbps", job.result.AvgMbps, id)
+				snap.Add("automdt_job_bytes", float64(job.result.Bytes), id)
+			}
+		}
+	}
+	return snap
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"automdt/internal/env"
 	"automdt/internal/rate"
 )
 
@@ -18,6 +19,28 @@ type Shaping struct {
 	LinkMbps           float64
 	WriteAggMbps       float64
 }
+
+// Hooks observe one transfer's lifecycle. All callbacks are optional and
+// are invoked synchronously from the sender's control loop, so they must
+// be fast and must not call back into the engine. The scheduler
+// (internal/sched) uses them to track per-job progress and to feed the
+// budget arbiter live state.
+type Hooks struct {
+	// OnStart runs once when Sender.Run begins, before any connection is
+	// made.
+	OnStart func()
+	// OnTick runs every probe interval with the freshly observed state
+	// (thread counts, per-stage throughputs, free buffer space).
+	OnTick func(State)
+	// OnDone runs exactly once when Sender.Run returns, with Run's
+	// result and error. Key success on err == nil: when the receiver
+	// completed but a sender-side error was recorded, both are non-nil.
+	OnDone func(*Result, error)
+}
+
+// State re-exports env.State so hook signatures don't force callers to
+// import internal/env separately.
+type State = env.State
 
 // Config parameterizes both ends of the transfer engine.
 type Config struct {
@@ -40,6 +63,8 @@ type Config struct {
 	Checksums bool
 	// Shaping holds the emulated rate caps.
 	Shaping Shaping
+	// Hooks observe the transfer lifecycle (job-scoped; optional).
+	Hooks Hooks
 }
 
 // WithDefaults returns cfg with zero fields replaced by defaults.

@@ -111,8 +111,14 @@ func (c *chunker) next() (fileID uint32, off int64, n int, ok bool) {
 // Run executes the transfer against a receiver listening at the given
 // data and control addresses, returning when the receiver confirms
 // completion.
-func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (*Result, error) {
+func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Result, err error) {
 	cfg := s.Cfg.WithDefaults()
+	if h := cfg.Hooks.OnStart; h != nil {
+		h()
+	}
+	if h := cfg.Hooks.OnDone; h != nil {
+		defer func() { h(res, err) }()
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -221,12 +227,47 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (*Result, e
 		}
 	})
 
+	// doneCh closes when the receiver confirms completion. Declared before
+	// the network pool because workers consult it on dial failure.
+	doneCh := make(chan struct{})
+	var doneOnce sync.Once
+
 	netPool := NewPool(func(stop <-chan struct{}, id int) {
-		conn, err := net.Dial("tcp", dataAddr)
-		if err != nil {
-			s.fail(fmt.Errorf("transfer: dial data: %w", err))
-			cancel()
-			return
+		// The receiver closes its data listener the moment the transfer
+		// completes, so a worker spawned by a late pool grow can lose the
+		// dial race without anything being wrong. Retry briefly and give
+		// up quietly once the transfer is done; only persistent failure
+		// on a live transfer is fatal.
+		var conn net.Conn
+		for attempt := 0; ; attempt++ {
+			var err error
+			conn, err = net.Dial("tcp", dataAddr)
+			if err == nil {
+				break
+			}
+			if attempt >= 4 {
+				// Last re-check: completion may have landed during the
+				// final backoff, in which case this failure is benign.
+				select {
+				case <-doneCh:
+					return
+				case <-ctx.Done():
+					return
+				default:
+				}
+				s.fail(fmt.Errorf("transfer: dial data: %w", err))
+				cancel()
+				return
+			}
+			select {
+			case <-doneCh:
+				return
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Duration(attempt+1) * 5 * time.Millisecond):
+			}
 		}
 		defer conn.Close()
 		lim := netPerStream.get(id)
@@ -283,8 +324,6 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (*Result, e
 	}()
 
 	// Control reader: receiver statuses and completion.
-	doneCh := make(chan struct{})
-	var doneOnce sync.Once
 	go func() {
 		for {
 			m, err := ctrl.Recv()
@@ -344,6 +383,9 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (*Result, e
 		rec.Series("thr_read").Record(now, state.Throughput[0])
 		rec.Series("thr_net").Record(now, state.Throughput[1])
 		rec.Series("thr_write").Record(now, state.Throughput[2])
+		if h := cfg.Hooks.OnTick; h != nil {
+			h(state)
+		}
 		return state
 	}
 

@@ -64,6 +64,70 @@ func Mixed(totalBytes, minSize, maxSize int64, rng *rand.Rand) Manifest {
 	return m
 }
 
+// Spec is a declarative, JSON-friendly dataset description — the wire
+// counterpart of Manifest used by the scheduler daemon's submit API. Kind
+// selects the generator: "large" (Count equal files of SizeBytes, the
+// paper's Dataset A shape) or "mixed" (log-uniform sizes in
+// [MinBytes, MaxBytes] totalling TotalBytes, the Dataset B shape).
+type Spec struct {
+	Kind       string `json:"kind"`
+	Count      int    `json:"count,omitempty"`
+	SizeBytes  int64  `json:"size_bytes,omitempty"`
+	TotalBytes int64  `json:"total_bytes,omitempty"`
+	MinBytes   int64  `json:"min_bytes,omitempty"`
+	MaxBytes   int64  `json:"max_bytes,omitempty"`
+	Seed       int64  `json:"seed,omitempty"`
+}
+
+// MaxSpecFiles bounds the number of files a Spec may describe. Specs
+// arrive over the daemon's submit API, so Build must not let one request
+// allocate an unbounded manifest.
+const MaxSpecFiles = 1 << 20
+
+// Validate reports whether the spec describes a buildable dataset.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case "large":
+		if s.Count <= 0 || s.SizeBytes <= 0 {
+			return fmt.Errorf("workload: large spec needs count>0 and size_bytes>0, got count=%d size=%d",
+				s.Count, s.SizeBytes)
+		}
+		if s.Count > MaxSpecFiles {
+			return fmt.Errorf("workload: large spec count %d exceeds the %d-file limit", s.Count, MaxSpecFiles)
+		}
+		if s.SizeBytes > math.MaxInt64/int64(s.Count) {
+			return fmt.Errorf("workload: large spec count %d × size %d overflows", s.Count, s.SizeBytes)
+		}
+	case "mixed":
+		if s.TotalBytes <= 0 || s.MinBytes <= 0 || s.MaxBytes < s.MinBytes {
+			return fmt.Errorf("workload: mixed spec needs total_bytes>0 and 0<min_bytes<=max_bytes, got total=%d min=%d max=%d",
+				s.TotalBytes, s.MinBytes, s.MaxBytes)
+		}
+		// Worst case every drawn file is MinBytes, so total/min bounds
+		// the manifest length.
+		if s.TotalBytes/s.MinBytes > MaxSpecFiles {
+			return fmt.Errorf("workload: mixed spec could emit %d files (total/min), exceeding the %d-file limit",
+				s.TotalBytes/s.MinBytes, MaxSpecFiles)
+		}
+	default:
+		return fmt.Errorf("workload: unknown dataset kind %q (want \"large\" or \"mixed\")", s.Kind)
+	}
+	return nil
+}
+
+// Build materializes the manifest the spec describes.
+func (s Spec) Build() (Manifest, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Kind {
+	case "large":
+		return LargeFiles(s.Count, s.SizeBytes), nil
+	default: // "mixed", already validated
+		return Mixed(s.TotalBytes, s.MinBytes, s.MaxBytes, rand.New(rand.NewSource(s.Seed))), nil
+	}
+}
+
 // Scale returns a copy of the manifest with every size multiplied by
 // factor (rounded down, minimum 1 byte). Used to shrink paper-scale
 // datasets to benchmark-scale ones while preserving the distribution

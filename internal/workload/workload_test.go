@@ -76,6 +76,56 @@ func TestScale(t *testing.T) {
 	}
 }
 
+func TestSpecBuildLarge(t *testing.T) {
+	m, err := Spec{Kind: "large", Count: 4, SizeBytes: 1 << 20}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 4 || m.TotalBytes() != 4<<20 {
+		t.Fatalf("len=%d total=%d", len(m), m.TotalBytes())
+	}
+}
+
+func TestSpecBuildMixedDeterministic(t *testing.T) {
+	spec := Spec{Kind: "mixed", TotalBytes: 4 << 20, MinBytes: 64 << 10, MaxBytes: 1 << 20, Seed: 7}
+	a, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := spec.Build()
+	if len(a) != len(b) || a.TotalBytes() != 4<<20 {
+		t.Fatalf("not deterministic or wrong total: %d vs %d files, total=%d",
+			len(a), len(b), a.TotalBytes())
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("file %d differs across builds: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	bad := []Spec{
+		{Kind: "huge"},
+		{Kind: "large", Count: 0, SizeBytes: 1},
+		{Kind: "large", Count: 1, SizeBytes: 0},
+		{Kind: "mixed", TotalBytes: 0, MinBytes: 1, MaxBytes: 2},
+		{Kind: "mixed", TotalBytes: 10, MinBytes: 5, MaxBytes: 2},
+		// Resource-exhaustion guards: file-count limits and overflow.
+		{Kind: "large", Count: MaxSpecFiles + 1, SizeBytes: 1},
+		{Kind: "large", Count: 1 << 30, SizeBytes: 1 << 40},
+		{Kind: "mixed", TotalBytes: 1 << 40, MinBytes: 1, MaxBytes: 2},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d (%+v) unexpectedly valid", i, s)
+		}
+		if _, err := s.Build(); err == nil {
+			t.Errorf("spec %d (%+v) unexpectedly built", i, s)
+		}
+	}
+}
+
 // Property: Mixed always hits the exact requested total and never emits
 // zero-size files.
 func TestQuickMixedInvariants(t *testing.T) {
