@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"automdt/internal/enginebench"
 	"automdt/internal/experiments"
 	"automdt/internal/metrics"
 	"automdt/internal/rl"
@@ -193,6 +194,29 @@ func BenchmarkAblationK(b *testing.B) {
 		}
 	}
 }
+
+// Engine micro-benchmarks: the same bodies back `automdt-bench -exp
+// engine`, which emits the BENCH_engine.json artifact the CI bench job
+// diffs against the committed baseline.
+
+// BenchmarkEngineFrameEncode measures checksummed frame encoding through
+// the vectored FrameWriter.
+func BenchmarkEngineFrameEncode(b *testing.B) { enginebench.FrameEncode(b) }
+
+// BenchmarkEngineFrameDecode measures frame decoding with arena-backed
+// payload allocation.
+func BenchmarkEngineFrameDecode(b *testing.B) { enginebench.FrameDecode(b) }
+
+// BenchmarkEngineStagingHandoff measures the staging ownership transfer
+// of one arena lease.
+func BenchmarkEngineStagingHandoff(b *testing.B) { enginebench.StagingHandoff(b) }
+
+// BenchmarkEngineArena measures the raw arena lease/release cycle.
+func BenchmarkEngineArena(b *testing.B) { enginebench.ArenaGetRelease(b) }
+
+// BenchmarkEngineLoopbackE2E measures the end-to-end chunk lifecycle at
+// the quick (CI) dataset size.
+func BenchmarkEngineLoopbackE2E(b *testing.B) { enginebench.LoopbackE2E(true)(b) }
 
 // BenchmarkLoopbackEngine measures raw engine goodput over loopback TCP
 // with no rate shaping (GC and syscall overhead are the ceiling here).

@@ -6,17 +6,27 @@
 //
 //	automdt-bench -exp all                 # everything, quick fidelity
 //	automdt-bench -exp fig3 -mode paper    # one experiment, full fidelity
+//	automdt-bench -exp engine -bench-json BENCH_engine.json \
+//	    -baseline bench/BENCH_baseline.json   # CI regression gate
 //
 // Experiments: fig3, fig4, fig5-read, fig5-network, fig5-write, table1,
-// finetune, adaptation, ablation-joint, ablation-k, all.
+// finetune, adaptation, ablation-joint, ablation-k, engine, all.
+//
+// The engine experiment runs the transfer-engine micro-benchmark suite
+// (frame encode/decode, staging hand-off, arena lease cycle, loopback
+// end-to-end) and, with -bench-json, writes a machine-readable report.
+// With -baseline it exits non-zero when throughput drops or allocs/op
+// rise by more than -bench-tolerance against the baseline report.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"automdt/internal/enginebench"
 	"automdt/internal/experiments"
 	"automdt/internal/metrics"
 )
@@ -26,6 +36,9 @@ func main() {
 	modeStr := flag.String("mode", "quick", "fidelity: quick or paper")
 	csvDir := flag.String("csv", "", "directory to write per-experiment trace CSVs (optional)")
 	metricsPath := flag.String("metrics", "", "file to write a text-format metrics snapshot of the run (optional)")
+	benchJSON := flag.String("bench-json", "", "file to write the engine benchmark report (engine experiment)")
+	baseline := flag.String("baseline", "", "baseline report to gate the engine benchmarks against")
+	benchTol := flag.Float64("bench-tolerance", 0.20, "allowed fractional regression before the baseline gate fails")
 	flag.Parse()
 
 	mode := experiments.Quick
@@ -173,6 +186,61 @@ func main() {
 		fmt.Printf("%-8s %-14s %-8s %s\n", "k", "best ⟨r,n,w⟩", "threads", "Mbps")
 		for _, r := range rows {
 			fmt.Printf("%-8.3f %-14v %-8d %.0f\n", r.K, r.BestThreads, r.TotalThreads, r.Mbps)
+		}
+		return nil
+	})
+	run("engine", func() error {
+		rep := enginebench.Run(mode == experiments.Quick)
+		fmt.Printf("%-20s %14s %12s %12s %12s\n", "benchmark", "ns/op", "MB/s", "allocs/op", "B/op")
+		for _, r := range rep.Results {
+			mbs := "-"
+			if r.MBPerSec > 0 {
+				mbs = fmt.Sprintf("%.1f", r.MBPerSec)
+			}
+			fmt.Printf("%-20s %14.0f %12s %12.0f %12.0f\n", r.Name, r.NsPerOp, mbs, r.AllocsPerOp, r.BytesPerOp)
+			snap.Add("bench_engine_ns_per_op", r.NsPerOp, metrics.L("bench", r.Name))
+			snap.Add("bench_engine_allocs_per_op", r.AllocsPerOp, metrics.L("bench", r.Name))
+			if r.MBPerSec > 0 {
+				snap.Add("bench_engine_mb_per_s", r.MBPerSec, metrics.L("bench", r.Name))
+			}
+		}
+		if *benchJSON != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("[wrote %s]\n", *benchJSON)
+		}
+		if *baseline != "" {
+			data, err := os.ReadFile(*baseline)
+			if err != nil {
+				return fmt.Errorf("read baseline: %w", err)
+			}
+			var base enginebench.Report
+			if err := json.Unmarshal(data, &base); err != nil {
+				return fmt.Errorf("parse baseline: %w", err)
+			}
+			if base.Quick != rep.Quick {
+				// loopback_e2e allocs/op scales with the dataset size, so
+				// cross-fidelity comparison would report bogus regressions.
+				return fmt.Errorf("baseline fidelity (quick=%v) differs from this run (quick=%v); regenerate the baseline or use a matching -mode",
+					base.Quick, rep.Quick)
+			}
+			if !enginebench.ThroughputComparable(base, rep) {
+				fmt.Printf("[baseline CPU differs (%q vs %q): gating allocs/op only]\n", base.CPU, rep.CPU)
+			}
+			regs := enginebench.Compare(base, rep, *benchTol)
+			for _, reg := range regs {
+				fmt.Fprintf(os.Stderr, "REGRESSION %s\n", reg)
+			}
+			if len(regs) > 0 {
+				return fmt.Errorf("engine benchmarks regressed beyond %.0f%% against %s",
+					*benchTol*100, *baseline)
+			}
+			fmt.Printf("[baseline gate passed: %s, tolerance %.0f%%]\n", *baseline, *benchTol*100)
 		}
 		return nil
 	})

@@ -1,0 +1,279 @@
+// Package enginebench is the transfer-engine micro-benchmark suite
+// behind `automdt-bench -exp engine` and the CI bench gate. The same
+// benchmark bodies back the `go test -bench Engine` benchmarks in the
+// repo root and the machine-readable BENCH_engine.json artifact that CI
+// uploads and diffs against the committed baseline.
+package enginebench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"automdt/internal/fsim"
+	"automdt/internal/transfer"
+	"automdt/internal/wire"
+	"automdt/internal/workload"
+)
+
+// chunkBytes is the frame payload size used by the micro-benchmarks,
+// matching the engine's default chunk size.
+const chunkBytes = 256 << 10
+
+// FrameEncode measures FrameWriter throughput (checksummed, the
+// worst case) into a discard sink.
+func FrameEncode(b *testing.B) {
+	payload := make([]byte, chunkBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var fw wire.FrameWriter
+	f := wire.Frame{FileID: 7, Offset: 1 << 20, Data: payload, Checksum: true}
+	b.SetBytes(chunkBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fw.Write(io.Discard, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// FrameDecode measures FrameReader throughput with arena-backed payload
+// allocation, round-tripping a checksummed frame.
+func FrameDecode(b *testing.B) {
+	payload := make([]byte, chunkBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var buf bytes.Buffer
+	if err := wire.WriteFrame(&buf, wire.Frame{FileID: 7, Offset: 64, Data: payload, Checksum: true}); err != nil {
+		b.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	arena := transfer.NewArena(64 << 20)
+	var pending *transfer.Buf
+	alloc := func(n int) []byte {
+		pending = arena.Get(n)
+		return pending.Bytes()
+	}
+	var fr wire.FrameReader
+	r := bytes.NewReader(encoded)
+	b.SetBytes(chunkBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(encoded)
+		f, err := fr.Read(r, alloc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(f.Data) != chunkBytes {
+			b.Fatalf("decoded %d bytes", len(f.Data))
+		}
+		pending.Release()
+	}
+}
+
+// StagingHandoff measures the bounded-buffer ownership hand-off: one
+// arena lease staged and drained per iteration.
+func StagingHandoff(b *testing.B) {
+	arena := transfer.NewArena(64 << 20)
+	s := transfer.NewStaging(8 << 20)
+	b.SetBytes(chunkBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := arena.Get(chunkBytes)
+		if !s.Put(transfer.Chunk{FileID: 1, Offset: int64(i), Data: buf.Bytes(), Buf: buf}) {
+			b.Fatal("staging closed")
+		}
+		c, ok, _ := s.TryGet()
+		if !ok {
+			b.Fatal("staged chunk missing")
+		}
+		c.Release()
+	}
+}
+
+// ArenaGetRelease measures the raw lease/release cycle at a mixed
+// full-chunk and tail-chunk size pattern.
+func ArenaGetRelease(b *testing.B) {
+	arena := transfer.NewArena(64 << 20)
+	sizes := [4]int{chunkBytes, chunkBytes, chunkBytes, 9 << 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := arena.Get(sizes[i&3])
+		buf.Release()
+	}
+}
+
+// LoopbackE2E measures end-to-end engine goodput over loopback TCP with
+// no rate shaping: the whole sender→wire→receiver→staging→writer chunk
+// lifecycle, reported in MB/s and allocs/op.
+func LoopbackE2E(quick bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg := transfer.Config{
+			ChunkBytes:     chunkBytes,
+			MaxThreads:     16,
+			InitialThreads: 8,
+			ProbeInterval:  100 * time.Millisecond,
+		}
+		m := workload.LargeFiles(16, 4<<20) // 64 MB
+		if quick {
+			m = workload.LargeFiles(8, 2<<20) // 16 MB
+			cfg.InitialThreads = 4
+		}
+		b.SetBytes(m.TotalBytes())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src, dst := fsim.NewSyntheticStore(), fsim.NewSyntheticStore()
+			if _, err := transfer.Loopback(context.Background(), cfg, m, src, dst, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Result is one benchmark's headline numbers.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Report is the BENCH_engine.json document.
+type Report struct {
+	Schema  int      `json:"schema"`
+	Go      string   `json:"go"`
+	GOOS    string   `json:"goos"`
+	GOARCH  string   `json:"goarch"`
+	CPU     string   `json:"cpu,omitempty"`
+	Cores   int      `json:"cores,omitempty"`
+	Quick   bool     `json:"quick"`
+	Results []Result `json:"benchmarks"`
+}
+
+// cpuModel best-effort identifies the host CPU (linux only); empty when
+// unknown. Throughput numbers are only comparable between identical
+// CPUs, so Compare keys its MB/s gate on this.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+// ThroughputComparable reports whether two reports' MB/s numbers came
+// from the same hardware and can be gated against each other. The CPU
+// model string alone is not enough — hypervisors mask it to a generic
+// name ("Intel(R) Xeon(R) Processor @ 2.10GHz") shared by very
+// different machines — so the logical core count must match too.
+func ThroughputComparable(base, cur Report) bool {
+	return base.CPU != "" && base.CPU == cur.CPU &&
+		base.Cores > 0 && base.Cores == cur.Cores &&
+		base.GOOS == cur.GOOS && base.GOARCH == cur.GOARCH
+}
+
+// toResult converts a testing.BenchmarkResult.
+func toResult(name string, bytesPerOp int64, r testing.BenchmarkResult) Result {
+	res := Result{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+	}
+	if bytesPerOp > 0 && r.T > 0 {
+		res.MBPerSec = float64(bytesPerOp) * float64(r.N) / r.T.Seconds() / 1e6
+	}
+	return res
+}
+
+// Run executes the engine suite and assembles the report. quick keeps
+// the end-to-end dataset small enough for CI.
+func Run(quick bool) Report {
+	loopBytes := int64(64 << 20)
+	if quick {
+		loopBytes = 16 << 20
+	}
+	rep := Report{
+		Schema: 1,
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPU:    cpuModel(),
+		Cores:  runtime.NumCPU(),
+		Quick:  quick,
+	}
+	rep.Results = append(rep.Results,
+		toResult("frame_encode", chunkBytes, testing.Benchmark(FrameEncode)),
+		toResult("frame_decode", chunkBytes, testing.Benchmark(FrameDecode)),
+		toResult("staging_handoff", chunkBytes, testing.Benchmark(StagingHandoff)),
+		toResult("arena_get_release", 0, testing.Benchmark(ArenaGetRelease)),
+		toResult("loopback_e2e", loopBytes, testing.Benchmark(LoopbackE2E(quick))),
+	)
+	return rep
+}
+
+// Regression describes one gate violation.
+type Regression struct {
+	Bench  string
+	Metric string
+	Base   float64
+	Cur    float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s regressed %.4g → %.4g (%.1f%%)",
+		r.Bench, r.Metric, r.Base, r.Cur, 100*(r.Cur/r.Base-1))
+}
+
+// Compare gates cur against base: a benchmark regresses when its
+// throughput drops by more than tol (fraction, e.g. 0.20) or its
+// allocs/op rise by more than tol. Allocation counts are
+// hardware-independent and always gated, with a small absolute slack so
+// single-digit scheduling jitter on near-zero-alloc benchmarks cannot
+// trip the gate. MB/s is only meaningful against a baseline measured on
+// the same CPU, so the throughput gate arms only when
+// ThroughputComparable holds — a baseline committed from one machine
+// cannot flag a differently-sized CI runner as a regression. Benchmarks
+// present in only one report are ignored (suite evolution is not a
+// regression).
+func Compare(base, cur Report, tol float64) []Regression {
+	baseBy := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	gateThroughput := ThroughputComparable(base, cur)
+	var regs []Regression
+	for _, c := range cur.Results {
+		b, ok := baseBy[c.Name]
+		if !ok {
+			continue
+		}
+		if gateThroughput && b.MBPerSec > 0 && c.MBPerSec < b.MBPerSec*(1-tol) {
+			regs = append(regs, Regression{c.Name, "mb_per_s", b.MBPerSec, c.MBPerSec})
+		}
+		allocGate := b.AllocsPerOp*(1+tol) + 4
+		if c.AllocsPerOp > allocGate {
+			regs = append(regs, Regression{c.Name, "allocs_per_op", b.AllocsPerOp, c.AllocsPerOp})
+		}
+	}
+	return regs
+}

@@ -1,0 +1,116 @@
+package enginebench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func report(results ...Result) Report {
+	// Same CPU/core-count/platform on both sides so the throughput gate
+	// arms.
+	return Report{Schema: 1, GOOS: "linux", GOARCH: "amd64", CPU: "test-cpu", Cores: 8, Results: results}
+}
+
+func TestCompareThroughputGate(t *testing.T) {
+	base := report(Result{Name: "loopback_e2e", MBPerSec: 500, AllocsPerOp: 1000})
+	ok := report(Result{Name: "loopback_e2e", MBPerSec: 401, AllocsPerOp: 1000})
+	if regs := Compare(base, ok, 0.20); len(regs) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", regs)
+	}
+	bad := report(Result{Name: "loopback_e2e", MBPerSec: 399, AllocsPerOp: 1000})
+	regs := Compare(base, bad, 0.20)
+	if len(regs) != 1 || regs[0].Metric != "mb_per_s" {
+		t.Fatalf("regression not caught: %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "loopback_e2e") {
+		t.Fatalf("unhelpful message: %s", regs[0])
+	}
+}
+
+func TestCompareAllocGate(t *testing.T) {
+	base := report(Result{Name: "frame_encode", AllocsPerOp: 0})
+	// Near-zero-alloc benchmarks get absolute slack: 4 allocs of jitter
+	// must pass, a real leak must not.
+	if regs := Compare(base, report(Result{Name: "frame_encode", AllocsPerOp: 4}), 0.20); len(regs) != 0 {
+		t.Fatalf("jitter flagged: %v", regs)
+	}
+	if regs := Compare(base, report(Result{Name: "frame_encode", AllocsPerOp: 5}), 0.20); len(regs) != 1 {
+		t.Fatalf("alloc regression not caught: %v", regs)
+	}
+	big := report(Result{Name: "loopback_e2e", AllocsPerOp: 1000})
+	if regs := Compare(big, report(Result{Name: "loopback_e2e", AllocsPerOp: 1300}), 0.20); len(regs) != 1 {
+		t.Fatalf("20%%+ alloc growth not caught: %v", regs)
+	}
+}
+
+func TestCompareThroughputNeedsSameCPU(t *testing.T) {
+	base := report(Result{Name: "loopback_e2e", MBPerSec: 5000, AllocsPerOp: 100})
+	cur := report(Result{Name: "loopback_e2e", MBPerSec: 100, AllocsPerOp: 100})
+	cur.CPU = "a different runner"
+	// A 50× throughput gap across different hardware is not a
+	// regression — but an alloc jump still is.
+	if regs := Compare(base, cur, 0.20); len(regs) != 0 {
+		t.Fatalf("cross-hardware throughput flagged: %v", regs)
+	}
+	cur.Results[0].AllocsPerOp = 200
+	if regs := Compare(base, cur, 0.20); len(regs) != 1 || regs[0].Metric != "allocs_per_op" {
+		t.Fatalf("alloc gate must stay armed across hardware: %v", regs)
+	}
+	unknown := report(Result{Name: "x", MBPerSec: 1})
+	unknown.CPU = ""
+	if ThroughputComparable(unknown, unknown) {
+		t.Fatal("unknown CPUs must not be considered comparable")
+	}
+	// Hypervisors mask the model name to a shared generic string, so an
+	// identical CPU string with a different core count (a differently
+	// sized runner) must not arm the throughput gate either.
+	smaller := report(Result{Name: "x", MBPerSec: 1})
+	smaller.Cores = 2
+	if ThroughputComparable(report(), smaller) {
+		t.Fatal("same masked CPU string with different core counts must not be comparable")
+	}
+}
+
+func TestCompareIgnoresSuiteEvolution(t *testing.T) {
+	base := report(Result{Name: "old_bench", MBPerSec: 100})
+	cur := report(Result{Name: "new_bench", MBPerSec: 1})
+	if regs := Compare(base, cur, 0.20); len(regs) != 0 {
+		t.Fatalf("disjoint suites flagged: %v", regs)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	in := Report{Schema: 1, Go: "go1.24.0", GOOS: "linux", GOARCH: "amd64", Quick: true,
+		Results: []Result{{Name: "x", NsPerOp: 12.5, MBPerSec: 900, AllocsPerOp: 3, BytesPerOp: 128}}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Report
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Results[0] != in.Results[0] || out.Go != in.Go {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+// Smoke: the micro-benchmarks run and produce sane reports (each
+// testing.Benchmark call costs ~1 s of benchtime, so skip under -short).
+func TestMicroBenchmarksRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark smoke is slow; skipped with -short")
+	}
+	for name, fn := range map[string]func(*testing.B){
+		"frame_encode":      FrameEncode,
+		"frame_decode":      FrameDecode,
+		"staging_handoff":   StagingHandoff,
+		"arena_get_release": ArenaGetRelease,
+	} {
+		r := testing.Benchmark(fn)
+		if r.N < 1 || r.T <= 0 {
+			t.Fatalf("%s did not run: %+v", name, r)
+		}
+	}
+}

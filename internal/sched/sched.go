@@ -208,6 +208,14 @@ type Config struct {
 	// Snapshot before evicting the oldest (the daemon would otherwise
 	// grow without bound). 0 means DefaultHistory.
 	History int
+	// Arena is the shared chunk-buffer arena injected into every job
+	// whose transfer config doesn't bring its own. nil uses the
+	// process-wide transfer.Default() arena. On every rebalance the
+	// scheduler resizes the arena's retained-memory bound to cover the
+	// staging demand of the admitted job set (never below the arena's
+	// capacity at scheduler creation), so buffer memory follows
+	// admission the same way worker budgets do.
+	Arena *transfer.Arena
 
 	// onRebalance, when set by tests, observes every arbiter allocation
 	// (jobID → per-stage share). Called with the scheduler lock held.
@@ -219,6 +227,8 @@ type Scheduler struct {
 	cfg       Config
 	maxActive int
 	history   int
+	arena     *transfer.Arena
+	arenaBase int64 // idle-state arena capacity; demand grows it
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -256,16 +266,33 @@ func New(cfg Config) (*Scheduler, error) {
 	if history <= 0 {
 		history = DefaultHistory
 	}
+	arena := cfg.Arena
+	if arena == nil {
+		arena = transfer.Default()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Scheduler{
 		cfg:       cfg,
 		maxActive: maxActive,
 		history:   history,
+		arena:     arena,
+		arenaBase: arena.Capacity(),
 		ctx:       ctx,
 		cancel:    cancel,
 		jobs:      make(map[int64]*Job),
 		active:    make(map[int64]*Job),
 	}, nil
+}
+
+// Arena returns the scheduler's shared buffer arena.
+func (s *Scheduler) Arena() *transfer.Arena { return s.arena }
+
+// arenaDemand estimates one job's peak buffer footprint: both staging
+// buffers plus a chunk in flight per worker on each end.
+func arenaDemand(spec JobSpec) int64 {
+	cfg := spec.Transfer.WithDefaults()
+	return cfg.SenderBufBytes + cfg.ReceiverBufBytes +
+		2*int64(cfg.MaxThreads)*int64(cfg.ChunkBytes)
 }
 
 // Budget returns the configured per-stage budget.
@@ -332,6 +359,9 @@ func (s *Scheduler) start(job *Job) {
 	job.attempts++
 	if job.started.IsZero() {
 		job.started = time.Now()
+	}
+	if job.Spec.Transfer.Arena == nil {
+		job.Spec.Transfer.Arena = s.arena
 	}
 	var inner env.Controller
 	if s.cfg.NewController != nil {
@@ -455,6 +485,22 @@ func (s *Scheduler) rebalance() {
 			job.cap.SetCap(sh)
 		}
 	}
+	// Arena capacity tracks the admitted job set: grow to cover the
+	// active jobs' staging demand, fall back to the idle baseline when
+	// the set shrinks (excess pooled buffers shed lazily on release).
+	// Jobs that brought their own dedicated arena don't lease from the
+	// shared one, so they don't count against its capacity.
+	demand := s.arenaBase
+	var sum int64
+	for _, job := range s.active {
+		if job.Spec.Transfer.Arena == s.arena {
+			sum += arenaDemand(job.Spec)
+		}
+	}
+	if sum > demand {
+		demand = sum
+	}
+	s.arena.SetCapacity(demand)
 	if s.cfg.onRebalance != nil {
 		s.cfg.onRebalance(alloc)
 	}
@@ -628,6 +674,7 @@ func (s *Scheduler) Snapshot() metrics.Snapshot {
 	snap.Add("automdt_sched_submitted_total", float64(len(s.order)))
 	snap.Add("automdt_sched_retries_total", float64(s.retries))
 	snap.Add("automdt_sched_bytes_done_total", float64(bytesDone))
+	snap.Merge(s.arena.Snapshot())
 	for _, job := range s.order {
 		id := metrics.L("job", strconv.FormatInt(job.ID, 10))
 		switch job.state {

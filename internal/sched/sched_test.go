@@ -565,3 +565,63 @@ func TestGlobalBudgetCompliance(t *testing.T) {
 			}())
 	}
 }
+
+// The arena capacity must follow the admitted job set: grow to cover
+// active jobs' staging demand on rebalance, and return to the baseline
+// once the jobs finish.
+func TestArenaCapacityFollowsActiveJobs(t *testing.T) {
+	const base = 1 << 20
+	arena := transfer.NewArena(base)
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	runner := RunnerFunc(func(ctx context.Context, spec JobSpec, ctrl env.Controller) (*transfer.Result, error) {
+		// Every job must see the shared arena injected into its config.
+		if spec.Transfer.Arena != arena {
+			t.Error("job config missing the scheduler's shared arena")
+		}
+		started <- struct{}{}
+		select {
+		case <-release:
+			return &transfer.Result{}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	s, err := New(Config{Budget: [3]int{8, 8, 8}, MaxActive: 2, Runner: runner, Arena: arena})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	xfer := transfer.Config{SenderBufBytes: 8 << 20, ReceiverBufBytes: 8 << 20,
+		ChunkBytes: 64 << 10, MaxThreads: 4}
+	perJob := arenaDemand(JobSpec{Transfer: xfer})
+	if perJob != 16<<20+2*4*(64<<10) {
+		t.Fatalf("arenaDemand = %d", perJob)
+	}
+
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(JobSpec{Name: "j", Manifest: manifest1(), Transfer: xfer}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-started
+	<-started
+	waitFor(t, "capacity covers both active jobs", func() bool {
+		return arena.Capacity() == 2*perJob
+	})
+
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "capacity back to baseline when idle", func() bool {
+		return arena.Capacity() == base
+	})
+
+	if snap := s.Snapshot().Text(); !strings.Contains(snap, "automdt_arena_capacity_bytes") {
+		t.Fatalf("scheduler snapshot missing arena gauges:\n%s", snap)
+	}
+}

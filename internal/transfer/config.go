@@ -65,6 +65,20 @@ type Config struct {
 	Shaping Shaping
 	// Hooks observe the transfer lifecycle (job-scoped; optional).
 	Hooks Hooks
+	// Arena supplies the chunk buffers for both engine ends. nil uses the
+	// process-wide Default() arena, which is what lets back-to-back
+	// transfers (and the scheduler's job churn) run allocation-free after
+	// warmup. Inject a dedicated arena to isolate a transfer's memory.
+	Arena *Arena
+}
+
+// arena resolves the configured arena, falling back to the process-wide
+// default.
+func (c Config) arena() *Arena {
+	if c.Arena != nil {
+		return c.Arena
+	}
+	return Default()
 }
 
 // WithDefaults returns cfg with zero fields replaced by defaults.

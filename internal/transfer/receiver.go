@@ -135,38 +135,65 @@ func (r *Receiver) Serve(ctx context.Context) error {
 		total += f.Size
 	}
 
-	bufPool := &sync.Pool{New: func() any { return make([]byte, r.Cfg.ChunkBytes) }}
-	alloc := func(n int) []byte {
-		b := bufPool.Get().([]byte)
-		if cap(b) < n {
-			bufPool.Put(b[:cap(b)])
-			return make([]byte, n)
-		}
-		return b[:n]
-	}
+	arena := r.Cfg.arena()
 
-	// Data connection acceptor: one reader goroutine per connection.
+	// Data connection acceptor: one reader goroutine per connection. Each
+	// reader leases frame payloads from the arena (full and tail sizes
+	// alike) and transfers the lease to the write pool through staging.
+	// Connections are tracked so shutdown can force readers off their
+	// blocking reads and wait for every lease to be handed over or
+	// released before Serve returns.
 	var readerWG sync.WaitGroup
+	var connsMu sync.Mutex
+	var conns []net.Conn
+	connsClosed := false
 	go func() {
 		for {
 			conn, err := r.dataLn.Accept()
 			if err != nil {
 				return // listener closed on shutdown
 			}
+			// Registration and readerWG.Add happen under the same lock
+			// the shutdown path takes before readerWG.Wait: a connection
+			// either registers first (and is closed by shutdown, bounding
+			// its reader) or finds the session closed and never spawns a
+			// reader at all. Accept can win a race against dataLn.Close
+			// and deliver one last conn, so this check is load-bearing.
+			connsMu.Lock()
+			if connsClosed {
+				connsMu.Unlock()
+				conn.Close()
+				continue
+			}
+			conns = append(conns, conn)
 			readerWG.Add(1)
+			connsMu.Unlock()
 			go func() {
 				defer readerWG.Done()
 				defer conn.Close()
+				var pending *Buf
+				alloc := func(n int) []byte {
+					pending = arena.Get(n)
+					return pending.Bytes()
+				}
+				var fr wire.FrameReader
 				for {
-					f, err := wire.ReadFrame(conn, alloc)
+					pending = nil
+					f, err := fr.Read(conn, alloc)
 					if err != nil {
+						if pending != nil {
+							pending.Release()
+						}
 						if !errors.Is(err, io.EOF) {
 							r.fail(err)
 							cancel()
 						}
 						return
 					}
-					if !staging.Put(Chunk{FileID: f.FileID, Offset: f.Offset, Data: f.Data}) {
+					if !staging.Put(Chunk{FileID: f.FileID, Offset: f.Offset, Data: f.Data, Buf: pending}) {
+						if pending != nil {
+							pending.Release()
+						}
 						return
 					}
 				}
@@ -187,6 +214,8 @@ func (r *Receiver) Serve(ctx context.Context) error {
 	}
 	pool := NewPool(func(stop <-chan struct{}, id int) {
 		lim := perThread.get(id)
+		poll := newPollTimer()
+		defer poll.stop()
 		for {
 			select {
 			case <-stop:
@@ -205,32 +234,37 @@ func (r *Receiver) Serve(ctx context.Context) error {
 					return
 				case <-ctx.Done():
 					return
-				case <-time.After(2 * time.Millisecond):
+				case <-poll.after(2 * time.Millisecond):
 				}
 				continue
 			}
 			if err := lim.WaitN(ctx, len(c.Data)); err != nil {
+				c.Release()
 				return
 			}
 			if err := agg.WaitN(ctx, len(c.Data)); err != nil {
+				c.Release()
 				return
 			}
 			w, err := writerFor(c.FileID)
+			if err != nil {
+				c.Release()
+				r.fail(err)
+				cancel()
+				return
+			}
+			_, err = w.WriteAt(c.Data, c.Offset)
+			n := int64(len(c.Data))
+			// The arena lease ends only once the write has committed (or
+			// failed): this is the last stage of the chunk lifecycle.
+			c.Release()
 			if err != nil {
 				r.fail(err)
 				cancel()
 				return
 			}
-			if _, err := w.WriteAt(c.Data, c.Offset); err != nil {
-				r.fail(err)
-				cancel()
-				return
-			}
-			writeCounter.Add(int64(len(c.Data)))
-			if cap(c.Data) == r.Cfg.ChunkBytes {
-				bufPool.Put(c.Data[:cap(c.Data)])
-			}
-			if written.Add(int64(len(c.Data))) >= total {
+			writeCounter.Add(n)
+			if written.Add(n) >= total {
 				writeOnce.Do(func() { close(writeDone) })
 			}
 		}
@@ -240,7 +274,29 @@ func (r *Receiver) Serve(ctx context.Context) error {
 		n = r.Cfg.InitialThreads
 	}
 	pool.Resize(n)
-	defer pool.Shutdown()
+	// Shutdown discipline: stop the intake first (listener, then every
+	// data connection, then wait for the readers those connections fed),
+	// close staging so a reader still mid-Put fails and releases its own
+	// lease, stop the write pool, and only then drain what's left. After
+	// this defer runs, every arena lease this session took is returned.
+	defer func() {
+		r.dataLn.Close()
+		connsMu.Lock()
+		connsClosed = true
+		for _, c := range conns {
+			c.Close()
+		}
+		connsMu.Unlock()
+		// Close staging BEFORE waiting on the readers: closing the conns
+		// only unblocks readers parked in a socket read, while a reader
+		// blocked in Put on a full staging buffer (write pool already
+		// gone on cancellation) only wakes when staging closes — waiting
+		// first would deadlock Serve forever.
+		staging.Close()
+		readerWG.Wait()
+		pool.Shutdown()
+		staging.ReleaseRemaining()
+	}()
 
 	// Control loop: periodic status out, SetWriters commands in.
 	cmds := make(chan wire.Message, 8)

@@ -45,15 +45,34 @@ type Sender struct {
 
 	mu         sync.Mutex
 	err        error
+	errSymptom bool
 	lastStatus wire.Status
 }
 
-func (s *Sender) fail(err error) {
+// fail records a root-cause error: the first one wins and overrides a
+// previously recorded connection symptom.
+func (s *Sender) fail(err error) { s.failWith(err, false) }
+
+// failSymptom records a data/control-plane plumbing error (connection
+// reset, dial failure). Symptoms lose to a root cause reported later —
+// when the receiver dies mid-transfer, the sender's sockets fail with
+// resets before the control channel delivers the receiver's actual
+// error, and the actual error is the one worth surfacing.
+func (s *Sender) failSymptom(err error) { s.failWith(err, true) }
+
+func (s *Sender) failWith(err error, symptom bool) {
 	s.mu.Lock()
-	if s.err == nil && err != nil {
+	if err != nil && (s.err == nil || (s.errSymptom && !symptom)) {
 		s.err = err
+		s.errSymptom = symptom
 	}
 	s.mu.Unlock()
+}
+
+func (s *Sender) errIsSymptom() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err != nil && s.errSymptom
 }
 
 // Err returns the first fatal sender-side error.
@@ -174,7 +193,7 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 
 	var readCounter, netCounter metrics.Counter
 	var chunksStaged atomic.Int64
-	bufPool := &sync.Pool{New: func() any { return make([]byte, cfg.ChunkBytes) }}
+	arena := cfg.arena()
 	readPerThread := newLimiterSet(cfg.Shaping.ReadPerThreadMbps, cfg.ChunkBytes)
 	readAgg := newLimiter(cfg.Shaping.ReadAggMbps, cfg.ChunkBytes)
 	netPerStream := newLimiterSet(cfg.Shaping.NetPerStreamMbps, cfg.ChunkBytes)
@@ -206,19 +225,19 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 				cancel()
 				return
 			}
-			var buf []byte
-			if n == cfg.ChunkBytes {
-				buf = bufPool.Get().([]byte)[:n]
-			} else {
-				buf = make([]byte, n)
-			}
-			if _, err := r.ReadAt(buf, off); err != nil {
+			// One arena lease per chunk, full and tail sizes alike; the
+			// lease rides the chunk through staging and is released by the
+			// network worker after the frame hits the wire.
+			buf := arena.Get(n)
+			if _, err := r.ReadAt(buf.Bytes(), off); err != nil {
+				buf.Release()
 				s.fail(fmt.Errorf("transfer: read %s@%d: %w", s.Manifest[fileID].Name, off, err))
 				cancel()
 				return
 			}
 			readCounter.Add(int64(n))
-			if !staging.Put(Chunk{FileID: fileID, Offset: off, Data: buf}) {
+			if !staging.Put(Chunk{FileID: fileID, Offset: off, Data: buf.Bytes(), Buf: buf}) {
+				buf.Release()
 				return
 			}
 			if chunksStaged.Add(1) == src.total {
@@ -255,7 +274,7 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 					return
 				default:
 				}
-				s.fail(fmt.Errorf("transfer: dial data: %w", err))
+				s.failSymptom(fmt.Errorf("transfer: dial data: %w", err))
 				cancel()
 				return
 			}
@@ -271,10 +290,15 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 		}
 		defer conn.Close()
 		lim := netPerStream.get(id)
+		// Per-worker frame writer (header + writev scratch) and poll
+		// timer, so the steady-state loop allocates nothing.
+		var fw wire.FrameWriter
+		poll := newPollTimer()
+		defer poll.stop()
 		for {
 			select {
 			case <-stop:
-				wire.WriteEnd(conn)
+				fw.WriteEnd(conn)
 				return
 			case <-ctx.Done():
 				return
@@ -282,56 +306,64 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 			}
 			c, ok, closed := staging.TryGet()
 			if closed {
-				wire.WriteEnd(conn)
+				fw.WriteEnd(conn)
 				return
 			}
 			if !ok {
 				select {
 				case <-stop:
-					wire.WriteEnd(conn)
+					fw.WriteEnd(conn)
 					return
 				case <-ctx.Done():
 					return
-				case <-time.After(2 * time.Millisecond):
+				case <-poll.after(2 * time.Millisecond):
 				}
 				continue
 			}
 			if err := lim.WaitN(ctx, len(c.Data)); err != nil {
+				c.Release()
 				return
 			}
 			if err := link.WaitN(ctx, len(c.Data)); err != nil {
+				c.Release()
 				return
 			}
-			if err := wire.WriteFrame(conn, wire.Frame{
+			err := fw.Write(conn, wire.Frame{
 				FileID: c.FileID, Offset: c.Offset, Data: c.Data, Checksum: cfg.Checksums,
-			}); err != nil {
-				s.fail(fmt.Errorf("transfer: send frame: %w", err))
+			})
+			c.Release()
+			if err != nil {
+				s.failSymptom(fmt.Errorf("transfer: send frame: %w", err))
 				cancel()
 				return
 			}
 			netCounter.Add(int64(len(c.Data)))
-			if cap(c.Data) == cfg.ChunkBytes {
-				bufPool.Put(c.Data[:cap(c.Data)])
-			}
 		}
 	})
 	// Cleanup order matters: closing the staging buffer first wakes
-	// readers blocked in Put so the pool shutdowns cannot deadlock.
+	// readers blocked in Put so the pool shutdowns cannot deadlock. Once
+	// both pools have exited, any chunks stranded in staging (aborted
+	// transfer) return their arena leases.
 	defer func() {
 		staging.Close()
 		readPool.Shutdown()
 		netPool.Shutdown()
+		staging.ReleaseRemaining()
 	}()
 
-	// Control reader: receiver statuses and completion.
+	// Control reader: receiver statuses and completion. ctrlDone lets the
+	// shutdown path wait for a final receiver-reported root cause before
+	// surfacing a connection symptom.
+	ctrlDone := make(chan struct{})
 	go func() {
+		defer close(ctrlDone)
 		for {
 			m, err := ctrl.Recv()
 			if err != nil {
 				select {
 				case <-doneCh:
 				default:
-					s.fail(fmt.Errorf("transfer: control channel: %w", err))
+					s.failSymptom(fmt.Errorf("transfer: control channel: %w", err))
 					cancel()
 				}
 				return
@@ -397,6 +429,15 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 	for {
 		select {
 		case <-ctx.Done():
+			if s.errIsSymptom() {
+				// The data plane failed with a plumbing error. The usual
+				// cause is the receiver dying, and its control channel
+				// status names why; give that report a moment to land.
+				select {
+				case <-ctrlDone:
+				case <-time.After(500 * time.Millisecond):
+				}
+			}
 			if err := s.Err(); err != nil {
 				return nil, err
 			}
@@ -422,7 +463,7 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 			if act.Threads[2] != writers {
 				writers = act.Threads[2]
 				if err := ctrl.Send(wire.Message{SetWriters: &wire.SetWriters{N: writers}}); err != nil {
-					s.fail(fmt.Errorf("transfer: send SetWriters: %w", err))
+					s.failSymptom(fmt.Errorf("transfer: send SetWriters: %w", err))
 					cancel()
 				}
 			}

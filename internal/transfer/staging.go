@@ -11,11 +11,25 @@ import (
 	"sync"
 )
 
-// Chunk is one unit of file data moving through the pipeline.
+// Chunk is one unit of file data moving through the pipeline. When the
+// payload was leased from an Arena, Buf carries the lease: putting the
+// chunk into a Staging buffer transfers ownership to the consumer, which
+// must call Release exactly once when done with Data. A nil Buf (tests,
+// ad-hoc callers) makes Release a no-op and leaves the payload to the GC.
 type Chunk struct {
 	FileID uint32
 	Offset int64
 	Data   []byte
+	Buf    *Buf
+}
+
+// Release returns the chunk's arena lease, if any. Safe to call more
+// than once on the same Chunk value (the second call is a no-op).
+func (c *Chunk) Release() {
+	if c.Buf != nil {
+		c.Buf.Release()
+		c.Buf = nil
+	}
 }
 
 // Staging is a bounded FIFO of chunks with byte-based capacity
@@ -115,6 +129,19 @@ func (s *Staging) Close() {
 	s.mu.Unlock()
 	s.notFull.Broadcast()
 	s.notEmpty.Broadcast()
+}
+
+// ReleaseRemaining drains any queued chunks and returns their arena
+// leases. Engines call it after their worker pools shut down so an
+// aborted transfer cannot strand leased buffers.
+func (s *Staging) ReleaseRemaining() {
+	for {
+		c, ok, _ := s.TryGet()
+		if !ok {
+			return
+		}
+		c.Release()
+	}
 }
 
 // Used returns the occupied payload bytes.

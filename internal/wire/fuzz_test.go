@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func fuzzAlloc(n int) []byte { return make([]byte, n) }
+
+// FuzzReadFrame feeds arbitrary bytes to the frame decoder: it must
+// never panic, never allocate beyond MaxChunk for a corrupt length, and
+// anything it accepts must re-encode and re-decode to the same frame.
+func FuzzReadFrame(f *testing.F) {
+	// Valid frames, plain and checksummed.
+	var plain, summed bytes.Buffer
+	WriteFrame(&plain, Frame{FileID: 3, Offset: 512, Data: []byte("hello wire")})
+	WriteFrame(&summed, Frame{FileID: 9, Offset: 1 << 40, Data: []byte("check me"), Checksum: true})
+	f.Add(plain.Bytes())
+	f.Add(summed.Bytes())
+	// End-of-stream marker, truncated header, truncated payload, and a
+	// header claiming an absurd length.
+	var end bytes.Buffer
+	WriteEnd(&end)
+	f.Add(end.Bytes())
+	f.Add(plain.Bytes()[:FrameHeaderSize-2])
+	f.Add(plain.Bytes()[:FrameHeaderSize+3])
+	huge := make([]byte, FrameHeaderSize)
+	binary.BigEndian.PutUint32(huge[12:16], MaxChunk+1)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var alloced int
+		alloc := func(n int) []byte {
+			alloced = n
+			return make([]byte, n)
+		}
+		got, err := ReadFrame(bytes.NewReader(data), alloc)
+		if alloced > MaxChunk {
+			t.Fatalf("decoder allocated %d > MaxChunk for corrupt input", alloced)
+		}
+		if err != nil {
+			return
+		}
+		// Accepted frame: the round trip must be lossless.
+		var re bytes.Buffer
+		if err := WriteFrame(&re, got); err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		back, err := ReadFrame(bytes.NewReader(re.Bytes()), fuzzAlloc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if back.FileID != got.FileID || back.Offset != got.Offset ||
+			back.Checksum != got.Checksum || !bytes.Equal(back.Data, got.Data) {
+			t.Fatalf("round trip mismatch: %+v != %+v", back, got)
+		}
+	})
+}
+
+// FuzzFrameRoundTrip drives the encoder with arbitrary frame fields and
+// checks the decoder recovers them exactly — and that flipping any
+// payload bit of a checksummed frame is always rejected.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint32(0), int64(0), []byte(nil), false, uint16(0))
+	f.Add(uint32(12), int64(1<<30), []byte("payload bytes"), true, uint16(3))
+	f.Add(EndStream-1, int64(-1), bytes.Repeat([]byte{0xAA}, 300), true, uint16(299))
+
+	f.Fuzz(func(t *testing.T, fileID uint32, offset int64, payload []byte, checksum bool, flip uint16) {
+		if fileID == EndStream {
+			fileID = 0 // reserved marker, not an encodable data frame
+		}
+		in := Frame{FileID: fileID, Offset: offset, Data: payload, Checksum: checksum}
+		var buf bytes.Buffer
+		var fw FrameWriter
+		if err := fw.Write(&buf, in); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		encoded := buf.Bytes()
+
+		var fr FrameReader
+		out, err := fr.Read(bytes.NewReader(encoded), fuzzAlloc)
+		if err != nil {
+			t.Fatalf("decode of valid frame: %v", err)
+		}
+		if out.FileID != in.FileID || out.Offset != in.Offset || out.Checksum != in.Checksum {
+			t.Fatalf("header mismatch: %+v != %+v", out, in)
+		}
+		if !bytes.Equal(out.Data, in.Data) {
+			t.Fatal("payload mismatch")
+		}
+
+		// Every truncation of a data frame must error, never hang or
+		// fabricate a frame (except the empty prefix, which is a clean
+		// EOF at a frame boundary).
+		if _, err := ReadFrame(bytes.NewReader(encoded[:len(encoded)/2]), fuzzAlloc); err == nil && len(encoded) >= 2 {
+			t.Fatal("truncated frame decoded without error")
+		}
+
+		// Checksummed payload corruption must be detected, whichever
+		// byte is hit.
+		if checksum && len(payload) > 0 {
+			corrupt := bytes.Clone(encoded)
+			corrupt[FrameHeaderSize+int(flip)%len(payload)] ^= 0x01
+			if _, err := ReadFrame(bytes.NewReader(corrupt), fuzzAlloc); err == nil {
+				t.Fatal("corrupted checksummed payload accepted")
+			}
+		}
+	})
+}
+
+// FuzzReadFrame must treat a clean close at a frame boundary as EOF so
+// pipelines can distinguish "done" from "corrupt".
+func TestReadFrameCleanEOFContract(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader(nil), fuzzAlloc); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+	var end bytes.Buffer
+	WriteEnd(&end)
+	if _, err := ReadFrame(bytes.NewReader(end.Bytes()), fuzzAlloc); !errors.Is(err, io.EOF) {
+		t.Fatalf("end marker: %v, want io.EOF", err)
+	}
+}

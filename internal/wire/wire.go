@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"net"
 )
 
 // EndStream is the FileID value marking the end of a data connection.
@@ -42,29 +43,30 @@ type Frame struct {
 	Checksum bool
 }
 
-// WriteFrame writes one frame to w.
-func WriteFrame(w io.Writer, f Frame) error {
+// EncodeHeader encodes f's header (including the payload CRC when
+// f.Checksum is set) into hdr.
+func EncodeHeader(hdr *[FrameHeaderSize]byte, f Frame) error {
 	if len(f.Data) > MaxChunk {
 		return fmt.Errorf("wire: frame payload %d exceeds limit %d", len(f.Data), MaxChunk)
 	}
-	var hdr [FrameHeaderSize]byte
 	binary.BigEndian.PutUint32(hdr[0:4], f.FileID)
 	binary.BigEndian.PutUint64(hdr[4:12], uint64(f.Offset))
 	length := uint32(len(f.Data))
 	if f.Checksum {
 		length |= lengthChecksummed
 		binary.BigEndian.PutUint32(hdr[16:20], crc32.Checksum(f.Data, castagnoli))
+	} else {
+		binary.BigEndian.PutUint32(hdr[16:20], 0)
 	}
 	binary.BigEndian.PutUint32(hdr[12:16], length)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if len(f.Data) > 0 {
-		if _, err := w.Write(f.Data); err != nil {
-			return err
-		}
-	}
 	return nil
+}
+
+// WriteFrame writes one frame to w. For the hot path prefer a FrameWriter,
+// which reuses its scratch and issues vectored header+payload writes.
+func WriteFrame(w io.Writer, f Frame) error {
+	var fw FrameWriter
+	return fw.Write(w, f)
 }
 
 // WriteEnd writes the end-of-stream marker to w.
@@ -72,13 +74,64 @@ func WriteEnd(w io.Writer) error {
 	return WriteFrame(w, Frame{FileID: EndStream})
 }
 
+// FrameWriter writes frames with zero per-frame allocations: the header
+// scratch and the vectored-write buffer list persist across calls, and
+// header+payload go out in a single writev when the destination is a
+// *net.TCPConn (any io.Writer implementing net.buffersWriter). Not safe
+// for concurrent use; each network worker owns one.
+type FrameWriter struct {
+	hdr [FrameHeaderSize]byte
+	// arr backs the net.Buffers view. WriteTo consumes the vecs slice
+	// header as it drains, so vecs is re-derived from arr on every call
+	// instead of appended to (append on the consumed slice would
+	// reallocate per frame).
+	arr  [2][]byte
+	vecs net.Buffers
+}
+
+// Write writes one frame to w.
+func (fw *FrameWriter) Write(w io.Writer, f Frame) error {
+	if err := EncodeHeader(&fw.hdr, f); err != nil {
+		return err
+	}
+	if len(f.Data) == 0 {
+		_, err := w.Write(fw.hdr[:])
+		return err
+	}
+	fw.arr[0], fw.arr[1] = fw.hdr[:], f.Data
+	fw.vecs = net.Buffers(fw.arr[:])
+	_, err := fw.vecs.WriteTo(w)
+	fw.arr[1] = nil // drop the payload reference; the arena owns it
+	return err
+}
+
+// WriteEnd writes the end-of-stream marker to w.
+func (fw *FrameWriter) WriteEnd(w io.Writer) error {
+	return fw.Write(w, Frame{FileID: EndStream})
+}
+
 // ReadFrame reads one frame from r into a buffer obtained from alloc
 // (which must return a slice of at least the requested length). It
 // returns io.EOF (wrapped) only on a clean end-of-stream marker or a
 // closed connection at a frame boundary. Frames written with Checksum
-// set are verified; mismatches are hard errors.
+// set are verified; mismatches are hard errors. For the hot path prefer
+// a FrameReader, whose header scratch persists across calls.
 func ReadFrame(r io.Reader, alloc func(n int) []byte) (Frame, error) {
-	var hdr [FrameHeaderSize]byte
+	var fr FrameReader
+	return fr.Read(r, alloc)
+}
+
+// FrameReader reads frames with a persistent header scratch (the local
+// header array in a plain function escapes into the io.ReadFull call and
+// costs one heap allocation per frame). Not safe for concurrent use;
+// each connection reader owns one.
+type FrameReader struct {
+	hdr [FrameHeaderSize]byte
+}
+
+// Read reads one frame from r; see ReadFrame.
+func (fr *FrameReader) Read(r io.Reader, alloc func(n int) []byte) (Frame, error) {
+	hdr := &fr.hdr
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
 			return Frame{}, io.EOF
