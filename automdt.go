@@ -47,6 +47,9 @@ type (
 	Shaping = transfer.Shaping
 	// TransferResult summarizes a completed transfer with traces.
 	TransferResult = transfer.Result
+	// TransferSession describes a negotiated resumable session (set
+	// TransferConfig.SessionID; observe via TransferConfig.Hooks.OnSession).
+	TransferSession = transfer.Session
 	// Manifest lists the files of a dataset.
 	Manifest = workload.Manifest
 	// File is one manifest entry.

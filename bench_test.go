@@ -215,8 +215,12 @@ func BenchmarkEngineStagingHandoff(b *testing.B) { enginebench.StagingHandoff(b)
 func BenchmarkEngineArena(b *testing.B) { enginebench.ArenaGetRelease(b) }
 
 // BenchmarkEngineLoopbackE2E measures the end-to-end chunk lifecycle at
-// the quick (CI) dataset size.
-func BenchmarkEngineLoopbackE2E(b *testing.B) { enginebench.LoopbackE2E(true)(b) }
+// the quick (CI) dataset size with frame checksums on (the default).
+func BenchmarkEngineLoopbackE2E(b *testing.B) { enginebench.LoopbackE2E(true, true)(b) }
+
+// BenchmarkEngineLoopbackE2ENoCRC is the same lifecycle with integrity
+// verification disabled, isolating the CRC-32C cost.
+func BenchmarkEngineLoopbackE2ENoCRC(b *testing.B) { enginebench.LoopbackE2E(true, false)(b) }
 
 // BenchmarkLoopbackEngine measures raw engine goodput over loopback TCP
 // with no rate shaping (GC and syscall overhead are the ceiling here).

@@ -102,7 +102,7 @@ func main() {
 		Budget:        [3]int{*budgetRead, *budgetNet, *budgetWrite},
 		MaxActive:     *maxActive,
 		NewController: newController,
-		Runner:        sched.LoopbackRunner{},
+		Runner:        &sched.LoopbackRunner{},
 	})
 	if err != nil {
 		fatal(err)

@@ -67,6 +67,7 @@ func engineConfig(fs *flag.FlagSet) *transfer.Config {
 	fs.IntVar(&cfg.MaxThreads, "maxthreads", 32, "per-stage concurrency bound")
 	fs.DurationVar(&cfg.ProbeInterval, "interval", 250*time.Millisecond, "probe interval")
 	fs.IntVar(&cfg.InitialThreads, "initial", 1, "initial concurrency")
+	fs.BoolVar(&cfg.DisableChecksums, "no-checksums", false, "disable frame CRCs and end-to-end file verification")
 	fs.Float64Var(&cfg.Shaping.ReadPerThreadMbps, "cap-read", 0, "per-thread read cap (Mbps, 0=off)")
 	fs.Float64Var(&cfg.Shaping.NetPerStreamMbps, "cap-net", 0, "per-stream network cap (Mbps, 0=off)")
 	fs.Float64Var(&cfg.Shaping.WritePerThreadMbps, "cap-write", 0, "per-thread write cap (Mbps, 0=off)")
@@ -118,6 +119,7 @@ func send(args []string) {
 	model := fs.String("model", "", "automdt agent checkpoint (from automdt-train)")
 	profilePath := fs.String("profile", "", "automdt probed profile JSON (from automdt-train)")
 	cfg := engineConfig(fs)
+	fs.StringVar(&cfg.SessionID, "session", "", "resumable session id (re-run with the same id to resume; receiver needs -dir)")
 	fs.Parse(args)
 
 	var store fsim.Store
@@ -183,15 +185,27 @@ func send(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	if res.Resumed {
+		fmt.Printf("resumed session %s: skipped %d committed bytes\n", res.SessionID, res.SkippedBytes)
+	}
 	fmt.Printf("done: %d bytes in %v (%.0f Mbps)\n", res.Bytes, res.Duration.Round(time.Millisecond), res.AvgMbps)
 }
 
-// manifestFromDir lists regular files under root, relative to it.
+// manifestFromDir lists regular files under root, relative to it,
+// skipping the .automdt control-plane sidecar directory (a directory
+// that once served as a resumable destination must not ship its
+// ledgers).
 func manifestFromDir(root string) (workload.Manifest, error) {
 	var m workload.Manifest
 	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
-		if err != nil || info.IsDir() {
+		if err != nil {
 			return err
+		}
+		if info.IsDir() {
+			if info.Name() == ".automdt" {
+				return filepath.SkipDir
+			}
+			return nil
 		}
 		rel, err := filepath.Rel(root, path)
 		if err != nil {

@@ -117,14 +117,18 @@ func ArenaGetRelease(b *testing.B) {
 
 // LoopbackE2E measures end-to-end engine goodput over loopback TCP with
 // no rate shaping: the whole sender→wire→receiver→staging→writer chunk
-// lifecycle, reported in MB/s and allocs/op.
-func LoopbackE2E(quick bool) func(b *testing.B) {
+// lifecycle, reported in MB/s and allocs/op. checksums toggles the wire
+// frame CRC-32C and the ledger/file verification built on it, so the CI
+// bench gate tracks the integrity machinery's cost (on is the engine
+// default).
+func LoopbackE2E(quick, checksums bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		cfg := transfer.Config{
-			ChunkBytes:     chunkBytes,
-			MaxThreads:     16,
-			InitialThreads: 8,
-			ProbeInterval:  100 * time.Millisecond,
+			ChunkBytes:       chunkBytes,
+			MaxThreads:       16,
+			InitialThreads:   8,
+			ProbeInterval:    100 * time.Millisecond,
+			DisableChecksums: !checksums,
 		}
 		m := workload.LargeFiles(16, 4<<20) // 64 MB
 		if quick {
@@ -226,7 +230,10 @@ func Run(quick bool) Report {
 		toResult("frame_decode", chunkBytes, testing.Benchmark(FrameDecode)),
 		toResult("staging_handoff", chunkBytes, testing.Benchmark(StagingHandoff)),
 		toResult("arena_get_release", 0, testing.Benchmark(ArenaGetRelease)),
-		toResult("loopback_e2e", loopBytes, testing.Benchmark(LoopbackE2E(quick))),
+		// Checksums on (the default) and off, so the gate tracks the
+		// CRC-32C cost of the integrity/resume machinery.
+		toResult("loopback_e2e", loopBytes, testing.Benchmark(LoopbackE2E(quick, true))),
+		toResult("loopback_e2e_nocrc", loopBytes, testing.Benchmark(LoopbackE2E(quick, false))),
 	)
 	return rep
 }

@@ -2,6 +2,7 @@ package fsim
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -196,5 +197,96 @@ func TestQuickReaderMatchesFill(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestValidSessionID(t *testing.T) {
+	for _, ok := range []string{"job-7-a1b2c3", "Sess_01.resume", "x"} {
+		if !ValidSessionID(ok) {
+			t.Errorf("%q rejected", ok)
+		}
+	}
+	long := make([]byte, 129)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", ".", "..", "a/b", `a\b`, "a b", "s\x00", string(long)} {
+		if ValidSessionID(bad) {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestDirStoreStat(t *testing.T) {
+	ds, _ := NewDirStore(t.TempDir())
+	if _, err := ds.Stat("missing.bin"); !os.IsNotExist(err) {
+		t.Fatalf("want not-exist, got %v", err)
+	}
+	w, err := ds.Create("f.bin", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	size, err := ds.Stat("f.bin")
+	if err != nil || size != 4096 {
+		t.Fatalf("Stat=%d err=%v", size, err)
+	}
+}
+
+func TestDirStoreLedgerRoundTrip(t *testing.T) {
+	ds, _ := NewDirStore(t.TempDir())
+	if _, err := ds.LoadLedger("sess"); err == nil {
+		t.Fatal("missing ledger loaded")
+	}
+	doc := []byte(`{"schema":1}`)
+	if err := ds.SaveLedger("sess", doc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.LoadLedger("sess")
+	if err != nil || !bytes.Equal(got, doc) {
+		t.Fatalf("load=%q err=%v", got, err)
+	}
+	// Overwrite must be atomic-rename clean.
+	doc2 := []byte(`{"schema":1,"files":[]}`)
+	if err := ds.SaveLedger("sess", doc2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ds.LoadLedger("sess"); !bytes.Equal(got, doc2) {
+		t.Fatalf("overwrite lost: %q", got)
+	}
+	if err := ds.RemoveLedger("sess"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.RemoveLedger("sess"); err != nil {
+		t.Fatalf("double remove should be benign: %v", err)
+	}
+	if _, err := ds.LoadLedger("sess"); err == nil {
+		t.Fatal("removed ledger still loads")
+	}
+	// Hostile session ids must never touch the filesystem.
+	if err := ds.SaveLedger("../escape", doc); err == nil {
+		t.Fatal("path-escaping session id accepted")
+	}
+}
+
+func TestSyntheticStoreStatAndLedger(t *testing.T) {
+	s := NewSyntheticStore()
+	if _, err := s.Stat("f"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want not-exist, got %v", err)
+	}
+	w, _ := s.Create("f", 512)
+	w.Close()
+	if size, err := s.Stat("f"); err != nil || size != 512 {
+		t.Fatalf("Stat=%d err=%v", size, err)
+	}
+	if err := s.SaveLedger("sess", []byte("doc")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.LoadLedger("sess"); err != nil || string(got) != "doc" {
+		t.Fatalf("load=%q err=%v", got, err)
+	}
+	s.RemoveLedger("sess")
+	if _, err := s.LoadLedger("sess"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want not-exist after remove, got %v", err)
 	}
 }

@@ -22,11 +22,13 @@ type SubmitRequest struct {
 	// DestDir writes into a real directory; empty uses a synthetic sink.
 	DestDir string `json:"dest_dir,omitempty"`
 	// Engine knobs (zero values take transfer.Config defaults).
-	ChunkBytes      int  `json:"chunk_bytes,omitempty"`
-	MaxThreads      int  `json:"max_threads,omitempty"`
-	InitialThreads  int  `json:"initial_threads,omitempty"`
-	ProbeIntervalMs int  `json:"probe_interval_ms,omitempty"`
-	Checksums       bool `json:"checksums,omitempty"`
+	ChunkBytes      int `json:"chunk_bytes,omitempty"`
+	MaxThreads      int `json:"max_threads,omitempty"`
+	InitialThreads  int `json:"initial_threads,omitempty"`
+	ProbeIntervalMs int `json:"probe_interval_ms,omitempty"`
+	// DisableChecksums turns off frame CRCs and end-to-end file
+	// verification (on by default).
+	DisableChecksums bool `json:"disable_checksums,omitempty"`
 }
 
 // spec converts the request into a JobSpec.
@@ -42,11 +44,11 @@ func (r SubmitRequest) spec() (JobSpec, error) {
 		MaxRetries: r.MaxRetries,
 		DestDir:    r.DestDir,
 		Transfer: transfer.Config{
-			ChunkBytes:     r.ChunkBytes,
-			MaxThreads:     r.MaxThreads,
-			InitialThreads: r.InitialThreads,
-			ProbeInterval:  time.Duration(r.ProbeIntervalMs) * time.Millisecond,
-			Checksums:      r.Checksums,
+			ChunkBytes:       r.ChunkBytes,
+			MaxThreads:       r.MaxThreads,
+			InitialThreads:   r.InitialThreads,
+			ProbeInterval:    time.Duration(r.ProbeIntervalMs) * time.Millisecond,
+			DisableChecksums: r.DisableChecksums,
 		},
 	}, nil
 }

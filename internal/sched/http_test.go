@@ -72,6 +72,9 @@ func TestHTTPSubmitStatusMetrics(t *testing.T) {
 	if st.ID != 1 || st.Priority != 2 || st.TotalBytes != 512<<10 {
 		t.Fatalf("submit response = %+v", st)
 	}
+	if st.SessionID == "" {
+		t.Fatalf("no resume session assigned: %+v", st)
+	}
 
 	waitFor(t, "job done via API", func() bool {
 		r, err := http.Get(fmt.Sprintf("%s/jobs/%d", srv.URL, st.ID))
@@ -106,6 +109,8 @@ func TestHTTPSubmitStatusMetrics(t *testing.T) {
 		`automdt_sched_jobs{state="done"} 1`,
 		`automdt_sched_budget{stage="read"} 8`,
 		`automdt_job_avg_mbps{job="1"}`,
+		`automdt_resume_sessions_total`,
+		`automdt_resume_bytes_skipped_total`,
 	} {
 		if !strings.Contains(txt, want) {
 			t.Errorf("metrics missing %q:\n%s", want, txt)

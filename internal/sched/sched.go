@@ -125,6 +125,18 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 	done      chan struct{}
+
+	// session is the transfer session identity every attempt shares —
+	// what turns a retry into a resume instead of a restart.
+	session string
+	// resumes counts attempts that actually picked up committed ranges
+	// from a previous attempt's ledger.
+	resumes int
+	// skipped is the byte volume the latest attempt inherited from the
+	// ledger (not re-sent); committed is the receiver-reported committed
+	// progress, updated every probe tick.
+	skipped   int64
+	committed int64
 }
 
 // JobStatus is an immutable snapshot of a job, JSON-shaped for the
@@ -145,6 +157,16 @@ type JobStatus struct {
 	Submitted  time.Time  `json:"submitted_at"`
 	Started    time.Time  `json:"started_at,omitzero"`
 	Finished   time.Time  `json:"finished_at,omitzero"`
+	// Resume progress: every attempt of a job shares SessionID, so a
+	// retry resumes from the chunk ledger instead of restarting.
+	// CommittedBytes is the receiver-reported committed volume (live
+	// while running, including ranges inherited from earlier attempts);
+	// SkippedBytes is what the latest attempt did not have to re-send;
+	// Resumes counts attempts that picked up a prior ledger.
+	SessionID      string `json:"session_id,omitempty"`
+	Resumes        int    `json:"resumes"`
+	SkippedBytes   int64  `json:"skipped_bytes"`
+	CommittedBytes int64  `json:"committed_bytes"`
 }
 
 // Runner executes one attempt of a job under the given (budget-capped)
@@ -163,16 +185,54 @@ func (f RunnerFunc) Run(ctx context.Context, spec JobSpec, ctrl env.Controller) 
 
 // LoopbackRunner runs each job as an in-process sender→receiver transfer
 // over 127.0.0.1 TCP: synthetic source content, destination a real
-// directory when DestDir is set, else a synthetic sink.
+// directory when DestDir is set, else a synthetic sink. Synthetic sinks
+// are cached per session so a retry resumes from the previous attempt's
+// in-memory ledger the same way DestDir jobs resume from disk.
 type LoopbackRunner struct {
 	// Verify makes synthetic sinks check written bytes against the
 	// expected deterministic content.
 	Verify bool
+
+	mu    sync.Mutex
+	sinks map[string]*fsim.SyntheticStore
+}
+
+// maxCachedSinks bounds the per-session sink cache: sinks of sessions
+// that never complete (jobs that exhaust retries or are cancelled)
+// would otherwise accumulate for the life of the daemon.
+const maxCachedSinks = 128
+
+// sink returns the destination store for a sessionful synthetic job,
+// reusing the store across attempts of the same session.
+func (r *LoopbackRunner) sink(session string) *fsim.SyntheticStore {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.sinks[session]; ok {
+		return s
+	}
+	s := fsim.NewSyntheticStore()
+	s.Verify = r.Verify
+	if session != "" {
+		if r.sinks == nil {
+			r.sinks = make(map[string]*fsim.SyntheticStore)
+		}
+		// Evict arbitrary stale entries at the cap — losing one only
+		// costs a dead session its resume, never correctness.
+		for k := range r.sinks {
+			if len(r.sinks) < maxCachedSinks {
+				break
+			}
+			delete(r.sinks, k)
+		}
+		r.sinks[session] = s
+	}
+	return s
 }
 
 // Run implements Runner.
-func (r LoopbackRunner) Run(ctx context.Context, spec JobSpec, ctrl env.Controller) (*transfer.Result, error) {
+func (r *LoopbackRunner) Run(ctx context.Context, spec JobSpec, ctrl env.Controller) (*transfer.Result, error) {
 	src := fsim.NewSyntheticStore()
+	session := spec.Transfer.SessionID
 	var dst fsim.Store
 	if spec.DestDir != "" {
 		d, err := fsim.NewDirStore(spec.DestDir)
@@ -181,11 +241,16 @@ func (r LoopbackRunner) Run(ctx context.Context, spec JobSpec, ctrl env.Controll
 		}
 		dst = d
 	} else {
-		sink := fsim.NewSyntheticStore()
-		sink.Verify = r.Verify
-		dst = sink
+		dst = r.sink(session)
 	}
-	return transfer.Loopback(ctx, spec.Transfer, spec.Manifest, src, dst, ctrl)
+	res, err := transfer.Loopback(ctx, spec.Transfer, spec.Manifest, src, dst, ctrl)
+	if err == nil && session != "" && spec.DestDir == "" {
+		// The session completed; drop the cached sink.
+		r.mu.Lock()
+		delete(r.sinks, session)
+		r.mu.Unlock()
+	}
+	return res, err
 }
 
 // Config parameterizes a Scheduler.
@@ -202,7 +267,7 @@ type Config struct {
 	// env.BudgetCap by the scheduler). nil holds jobs at their initial
 	// concurrency, still budget-capped.
 	NewController func() env.Controller
-	// Runner executes job attempts. Default: LoopbackRunner{}.
+	// Runner executes job attempts. Default: &LoopbackRunner{}.
 	Runner Runner
 	// History is how many terminal jobs to retain for List/Status/
 	// Snapshot before evicting the oldest (the daemon would otherwise
@@ -256,7 +321,7 @@ func New(cfg Config) (*Scheduler, error) {
 		}
 	}
 	if cfg.Runner == nil {
-		cfg.Runner = LoopbackRunner{}
+		cfg.Runner = &LoopbackRunner{}
 	}
 	maxActive := cfg.MaxActive
 	if maxActive <= 0 || maxActive > minBudget {
@@ -322,13 +387,21 @@ func (s *Scheduler) Submit(spec JobSpec) (int64, error) {
 		return 0, ErrClosed
 	}
 	s.nextID++
+	session := spec.Transfer.SessionID
+	if session == "" {
+		session = fmt.Sprintf("job%d-%s", s.nextID, transfer.NewSessionID())
+	}
 	job := &Job{
 		ID:        s.nextID,
 		Spec:      spec,
 		state:     Queued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
+		session:   session,
 	}
+	// Every attempt carries the session ID, so the retry path resumes
+	// the interrupted session rather than re-queueing a fresh transfer.
+	job.Spec.Transfer.SessionID = session
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job)
 	heap.Push(&s.queue, job)
@@ -387,6 +460,30 @@ func (s *Scheduler) runJob(ctx context.Context, job *Job) {
 		s.mu.Unlock()
 		if userTick != nil {
 			userTick(st)
+		}
+	}
+	userSession := spec.Transfer.Hooks.OnSession
+	spec.Transfer.Hooks.OnSession = func(sess transfer.Session) {
+		s.mu.Lock()
+		job.skipped = sess.SkippedBytes
+		job.committed = sess.SkippedBytes
+		if sess.Resumed {
+			job.resumes++
+		}
+		s.mu.Unlock()
+		if userSession != nil {
+			userSession(sess)
+		}
+	}
+	userProgress := spec.Transfer.Hooks.OnProgress
+	spec.Transfer.Hooks.OnProgress = func(committed, total int64) {
+		s.mu.Lock()
+		if committed > job.committed {
+			job.committed = committed
+		}
+		s.mu.Unlock()
+		if userProgress != nil {
+			userProgress(committed, total)
 		}
 	}
 	res, err := s.cfg.Runner.Run(ctx, spec, job.cap)
@@ -603,22 +700,29 @@ func (s *Scheduler) Close() {
 // statusLocked snapshots a job. Caller holds mu.
 func (s *Scheduler) statusLocked(job *Job) JobStatus {
 	st := JobStatus{
-		ID:         job.ID,
-		Name:       job.Spec.Name,
-		State:      job.state.String(),
-		Priority:   job.Spec.Priority,
-		Attempts:   job.attempts,
-		Share:      job.share,
-		Threads:    job.last.Threads,
-		Throughput: job.last.Throughput,
-		TotalBytes: job.Spec.Manifest.TotalBytes(),
-		Submitted:  job.submitted,
-		Started:    job.started,
-		Finished:   job.finished,
+		ID:             job.ID,
+		Name:           job.Spec.Name,
+		State:          job.state.String(),
+		Priority:       job.Spec.Priority,
+		Attempts:       job.attempts,
+		Share:          job.share,
+		Threads:        job.last.Threads,
+		Throughput:     job.last.Throughput,
+		TotalBytes:     job.Spec.Manifest.TotalBytes(),
+		Submitted:      job.submitted,
+		Started:        job.started,
+		Finished:       job.finished,
+		SessionID:      job.session,
+		Resumes:        job.resumes,
+		SkippedBytes:   job.skipped,
+		CommittedBytes: job.committed,
 	}
 	if job.result != nil {
 		st.AvgMbps = job.result.AvgMbps
 		st.Seconds = job.result.Duration.Seconds()
+		if job.state == Done {
+			st.CommittedBytes = st.TotalBytes
+		}
 	}
 	if job.err != nil {
 		st.Error = job.err.Error()
@@ -664,8 +768,11 @@ func (s *Scheduler) Snapshot() metrics.Snapshot {
 	var bytesDone int64
 	for _, job := range s.order {
 		counts[job.state]++
-		if job.state == Done && job.result != nil {
-			bytesDone += job.result.Bytes
+		if job.state == Done {
+			// Dataset volume, not the final attempt's planned bytes — a
+			// resumed job's last Result covers only the post-skip
+			// remainder, and the counter must not depend on crash timing.
+			bytesDone += job.Spec.Manifest.TotalBytes()
 		}
 	}
 	for _, st := range jobStates {
@@ -675,6 +782,7 @@ func (s *Scheduler) Snapshot() metrics.Snapshot {
 	snap.Add("automdt_sched_retries_total", float64(s.retries))
 	snap.Add("automdt_sched_bytes_done_total", float64(bytesDone))
 	snap.Merge(s.arena.Snapshot())
+	snap.Merge(metrics.ResumeSnapshot())
 	for _, job := range s.order {
 		id := metrics.L("job", strconv.FormatInt(job.ID, 10))
 		switch job.state {
@@ -685,10 +793,12 @@ func (s *Scheduler) Snapshot() metrics.Snapshot {
 				snap.Add("automdt_job_threads", float64(job.last.Threads[i]), id, stage)
 				snap.Add("automdt_job_throughput_mbps", job.last.Throughput[i], id, stage)
 			}
+			snap.Add("automdt_job_committed_bytes", float64(job.committed), id)
+			snap.Add("automdt_job_resume_skipped_bytes", float64(job.skipped), id)
 		case Done:
 			if job.result != nil {
 				snap.Add("automdt_job_avg_mbps", job.result.AvgMbps, id)
-				snap.Add("automdt_job_bytes", float64(job.result.Bytes), id)
+				snap.Add("automdt_job_bytes", float64(job.Spec.Manifest.TotalBytes()), id)
 			}
 		}
 	}

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"automdt/internal/env"
+	"automdt/internal/fsim"
 	"automdt/internal/static"
 	"automdt/internal/transfer"
 	"automdt/internal/workload"
@@ -497,7 +499,7 @@ func TestGlobalBudgetCompliance(t *testing.T) {
 		Budget:        budget,
 		MaxActive:     jobs,
 		NewController: func() env.Controller { return static.New(32) },
-		Runner:        LoopbackRunner{},
+		Runner:        &LoopbackRunner{},
 		onRebalance:   rec.record,
 	})
 	if err != nil {
@@ -623,5 +625,171 @@ func TestArenaCapacityFollowsActiveJobs(t *testing.T) {
 
 	if snap := s.Snapshot().Text(); !strings.Contains(snap, "automdt_arena_capacity_bytes") {
 		t.Fatalf("scheduler snapshot missing arena gauges:\n%s", snap)
+	}
+}
+
+// budgetDirStore wraps a DirStore destination whose writes start failing
+// after a byte budget — a disk that fills up mid-transfer.
+type budgetDirStore struct {
+	*fsim.DirStore
+	mu     sync.Mutex
+	budget int64
+}
+
+func (b *budgetDirStore) Create(name string, size int64) (fsim.FileWriter, error) {
+	w, err := b.DirStore.Create(name, size)
+	if err != nil {
+		return nil, err
+	}
+	return &budgetWriter{inner: w, store: b}, nil
+}
+
+type budgetWriter struct {
+	inner fsim.FileWriter
+	store *budgetDirStore
+}
+
+func (w *budgetWriter) WriteAt(p []byte, off int64) (int, error) {
+	w.store.mu.Lock()
+	w.store.budget -= int64(len(p))
+	ok := w.store.budget >= 0
+	w.store.mu.Unlock()
+	if !ok {
+		return 0, errors.New("disk full (injected)")
+	}
+	return w.inner.WriteAt(p, off)
+}
+
+func (w *budgetWriter) Close() error { return w.inner.Close() }
+
+// A failed attempt must resume its session on retry: same session ID,
+// ledger-committed ranges skipped, and the job reporting resume progress
+// through the daemon status.
+func TestRetryResumesSession(t *testing.T) {
+	dir := t.TempDir()
+	var attempts atomic.Int64
+	runner := RunnerFunc(func(ctx context.Context, spec JobSpec, ctrl env.Controller) (*transfer.Result, error) {
+		n := attempts.Add(1)
+		src := fsim.NewSyntheticStore()
+		ds, err := fsim.NewDirStore(dir)
+		if err != nil {
+			return nil, err
+		}
+		var dst fsim.Store = ds
+		if n == 1 {
+			// First attempt: the destination fills up after 256 KiB.
+			dst = &budgetDirStore{DirStore: ds, budget: 256 << 10}
+		}
+		return transfer.Loopback(ctx, spec.Transfer, spec.Manifest, src, dst, ctrl)
+	})
+	s, err := New(Config{Budget: [3]int{4, 4, 4}, Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	m := workload.LargeFiles(2, 1<<20) // 2 MiB, fails ~12% in
+	id, err := s.Submit(JobSpec{
+		Name:       "resumable",
+		Manifest:   m,
+		MaxRetries: 2,
+		Transfer: transfer.Config{
+			ChunkBytes:     64 << 10,
+			ProbeInterval:  25 * time.Millisecond,
+			InitialThreads: 2,
+			MaxThreads:     4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := s.Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" {
+		t.Fatalf("job ended %s (err=%q)", st.State, st.Error)
+	}
+	if st.Attempts != 2 {
+		t.Fatalf("attempts=%d want 2", st.Attempts)
+	}
+	if st.SessionID == "" {
+		t.Fatal("job has no session id")
+	}
+	if st.Resumes < 1 {
+		t.Fatalf("retry did not resume (resumes=%d)", st.Resumes)
+	}
+	if st.SkippedBytes <= 0 {
+		t.Fatalf("resume skipped nothing (skipped=%d)", st.SkippedBytes)
+	}
+	if st.CommittedBytes != m.TotalBytes() {
+		t.Fatalf("committed=%d want %d", st.CommittedBytes, m.TotalBytes())
+	}
+	// The resume counters must be visible on the daemon metrics page.
+	var found bool
+	for _, smp := range s.Snapshot().Samples() {
+		if smp.Name == "automdt_resume_sessions_total" && smp.Value >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("automdt_resume_sessions_total missing from scheduler snapshot")
+	}
+}
+
+// Sessionful jobs without a DestDir must also resume on retry: the
+// loopback runner reuses the synthetic sink (and its in-memory ledger)
+// across attempts of the same session.
+func TestLoopbackRunnerReusesSinkAcrossAttempts(t *testing.T) {
+	r := &LoopbackRunner{}
+	const session = "sink-reuse"
+	spec := JobSpec{
+		Manifest: workload.LargeFiles(4, 1<<20),
+		Transfer: transfer.Config{
+			SessionID:      session,
+			ChunkBytes:     64 << 10,
+			InitialThreads: 2,
+			MaxThreads:     4,
+			ProbeInterval:  25 * time.Millisecond,
+			Shaping:        transfer.Shaping{LinkMbps: 200},
+		},
+	}
+	sink := r.sink(session) // the store attempt 1 will write into
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			if data, err := sink.LoadLedger(session); err == nil {
+				if l, err := transfer.DecodeLedger(data); err == nil && l.CommittedBytes() > 0 {
+					cancel() // kill attempt 1 mid-flight
+					return
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		cancel()
+	}()
+	if _, err := r.Run(ctx, spec, nil); err == nil {
+		t.Fatal("cancelled attempt succeeded")
+	}
+	cancel()
+
+	spec2 := spec
+	spec2.Transfer.Shaping = transfer.Shaping{}
+	res, err := r.Run(context.Background(), spec2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resumed || res.SkippedBytes <= 0 {
+		t.Fatalf("synthetic-sink retry did not resume: %+v", res)
+	}
+	// Completion must evict the cached sink.
+	r.mu.Lock()
+	_, still := r.sinks[session]
+	r.mu.Unlock()
+	if still {
+		t.Fatal("completed session's sink not evicted")
 	}
 }

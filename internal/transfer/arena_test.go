@@ -187,11 +187,13 @@ func TestArenaLoopbackLifecycle(t *testing.T) {
 		}
 	}
 	st := a.Stats()
-	// A later run can momentarily hold a few more concurrent leases than
-	// the warm-up run did (worker scheduling varies), so allow a handful
-	// of extra tracked allocations — what must not happen is per-chunk
-	// allocation (64 chunks/run here).
-	if st.Misses > warmMisses+8 {
+	// A later run can momentarily hold more concurrent leases than the
+	// warm-up run did: worker scheduling varies, and the (default)
+	// checksummed read stage holds each lease through a CRC pass, which
+	// deepens the pipeline noticeably under the race detector. Allow a
+	// modest number of extra tracked allocations — what must not happen
+	// is per-chunk allocation (64 chunks/run × 2 post-warmup runs here).
+	if st.Misses > warmMisses+20 {
 		t.Fatalf("steady-state runs allocated per chunk: misses %d → %d", warmMisses, st.Misses)
 	}
 	if st.Hits == 0 {

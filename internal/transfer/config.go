@@ -29,13 +29,36 @@ type Hooks struct {
 	// OnStart runs once when Sender.Run begins, before any connection is
 	// made.
 	OnStart func()
+	// OnSession runs once after the control handshake with the
+	// negotiated session: its identity and how much of the dataset the
+	// receiver's ledger already covers.
+	OnSession func(Session)
 	// OnTick runs every probe interval with the freshly observed state
 	// (thread counts, per-stage throughputs, free buffer space).
 	OnTick func(State)
+	// OnProgress runs every probe interval with the receiver-reported
+	// committed byte count (including ranges inherited by a resume) and
+	// the dataset total.
+	OnProgress func(committed, total int64)
 	// OnDone runs exactly once when Sender.Run returns, with Run's
 	// result and error. Key success on err == nil: when the receiver
 	// completed but a sender-side error was recorded, both are non-nil.
 	OnDone func(*Result, error)
+}
+
+// Session describes a negotiated transfer session, delivered to
+// Hooks.OnSession right after the control handshake.
+type Session struct {
+	// ID is the session identity (the ledger key at the receiver).
+	ID string
+	// Resumed reports whether the receiver advertised committed ranges
+	// from a previous attempt.
+	Resumed bool
+	// TotalBytes is the dataset size.
+	TotalBytes int64
+	// SkippedBytes is the committed volume the sender will not re-read
+	// or re-send.
+	SkippedBytes int64
 }
 
 // State re-exports env.State so hook signatures don't force callers to
@@ -57,10 +80,19 @@ type Config struct {
 	// InitialThreads is the starting concurrency for all stages.
 	// Default 1.
 	InitialThreads int
-	// Checksums adds a CRC-32C to every data frame, verified by the
-	// receiver (end-to-end integrity, as Globus offers; off by default
-	// like the paper's Globus runs, which disabled verification).
-	Checksums bool
+	// SessionID names a resumable session. When set, the receiver
+	// persists a chunk ledger through the destination store (if it
+	// implements fsim.LedgerStore) and a later run with the same ID and
+	// manifest resumes where the interrupted one stopped. Empty means a
+	// one-shot transfer. The scheduler assigns one per job so retries
+	// resume instead of restarting.
+	SessionID string
+	// DisableChecksums turns off integrity verification: the per-frame
+	// CRC-32C on the wire, the per-chunk sums recorded in the session
+	// ledger, and the end-to-end per-file CRC check at commit. Checksums
+	// are ON by default (the paper's Globus runs disabled verification;
+	// production DTNs should not).
+	DisableChecksums bool
 	// Shaping holds the emulated rate caps.
 	Shaping Shaping
 	// Hooks observe the transfer lifecycle (job-scoped; optional).
@@ -80,6 +112,9 @@ func (c Config) arena() *Arena {
 	}
 	return Default()
 }
+
+// checksums reports whether the session verifies integrity (the default).
+func (c Config) checksums() bool { return !c.DisableChecksums }
 
 // WithDefaults returns cfg with zero fields replaced by defaults.
 func (c Config) WithDefaults() Config {

@@ -22,7 +22,7 @@ func TestQuickChunkerTilesManifest(t *testing.T) {
 			})
 		}
 		chunkSize := 1 + rng.Intn(8192)
-		c := newChunker(m, chunkSize)
+		c := newChunker(m, chunkSize, nil)
 		offsets := make([]int64, len(m))
 		var chunks int64
 		for {
@@ -64,12 +64,15 @@ func TestQuickStagingAccounting(t *testing.T) {
 		for op := 0; op < 200; op++ {
 			if rng.Intn(2) == 0 {
 				n := rng.Intn(2048)
-				if int64(n) <= s.Free() || s.Len() == 0 {
-					// Only Put when it cannot block forever in this
-					// single-goroutine test.
-					if s.Free() >= int64(n) || s.Used() == 0 {
-						s.Put(Chunk{Data: make([]byte, n)})
-					}
+				// Only Put when it cannot block forever in this
+				// single-goroutine test: the guard mirrors Put's exact
+				// block condition (buffer empty, or the chunk fits).
+				// Note Free() is NOT a safe proxy — after an oversized
+				// chunk was admitted into an empty buffer, Used() > Cap()
+				// makes Free() zero yet a zero-length Put would still
+				// block.
+				if s.Used() == 0 || s.Used()+int64(n) <= s.Cap() {
+					s.Put(Chunk{Data: make([]byte, n)})
 				}
 			} else if c, ok, _ := s.TryGet(); ok {
 				held = append(held, c)

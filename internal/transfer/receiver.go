@@ -13,12 +13,17 @@ import (
 	"automdt/internal/fsim"
 	"automdt/internal/metrics"
 	"automdt/internal/wire"
+	"automdt/internal/workload"
 )
 
 // Receiver is the destination-side engine: it accepts parallel data
 // connections, stages incoming chunks in a bounded buffer, and flushes
 // them to the destination store with a resizable write pool whose size is
-// commanded by the sender over the control channel.
+// commanded by the sender over the control channel. Each session keeps a
+// chunk ledger of committed ranges; when the destination store can
+// persist ledgers (fsim.LedgerStore) and the sender names a session, the
+// ledger survives process restarts and the next attempt resumes instead
+// of starting over.
 type Receiver struct {
 	Cfg   Config
 	Store fsim.Store
@@ -73,6 +78,41 @@ func (r *Receiver) Err() error {
 	return r.err
 }
 
+// sumChecker tracks the sender-announced end-to-end file CRCs and which
+// of them have been verified against the ledger.
+type sumChecker struct {
+	mu       sync.Mutex
+	expected map[uint32]uint32
+	checked  map[uint32]bool
+	finished bool // SumsDone received
+	want     int  // announced FileSum count
+	got      int
+}
+
+func newSumChecker() *sumChecker {
+	return &sumChecker{expected: make(map[uint32]uint32), checked: make(map[uint32]bool)}
+}
+
+// drained reports whether every announced sum has arrived.
+func (c *sumChecker) drained() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.finished && c.got >= c.want
+}
+
+// pending returns the announced files not yet verified.
+func (c *sumChecker) pending() []uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ids []uint32
+	for id := range c.expected {
+		if !c.checked[id] {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
 // Serve handles exactly one transfer session and returns when the
 // transfer completes or fails. It must be called after Listen.
 func (r *Receiver) Serve(ctx context.Context) error {
@@ -80,22 +120,113 @@ func (r *Receiver) Serve(ctx context.Context) error {
 	defer r.dataLn.Close()
 	defer r.ctrlLn.Close()
 
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	// A cancelled caller context must unblock the accepts and control
+	// reads below, not just the steady-state loops. The watch is on the
+	// parent only: an internal failure (cancel()) must keep the control
+	// channel alive long enough to report the root cause to the sender.
+	stopLnWatch := context.AfterFunc(parent, func() {
+		r.dataLn.Close()
+		r.ctrlLn.Close()
+	})
+	defer stopLnWatch()
 
 	// Control connection first: it carries the session parameters.
 	ctrlRaw, err := r.ctrlLn.Accept()
 	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
 		return fmt.Errorf("transfer: accept control: %w", err)
 	}
 	ctrl := wire.NewConn(ctrlRaw)
 	defer ctrl.Close()
+	stopCtrlWatch := context.AfterFunc(parent, func() { ctrl.Close() })
+	defer stopCtrlWatch()
 
 	hello, err := ctrl.Recv()
 	if err != nil || hello.Hello == nil {
 		return fmt.Errorf("transfer: bad hello (err=%v)", err)
 	}
 	h := hello.Hello
+
+	// Versioned negotiation: speak the lower of the two generations. A
+	// v0 sender ignores the Welcome and the ledger machinery degrades to
+	// the old one-shot behaviour.
+	proto := h.ProtoVersion
+	if proto > wire.ProtoVersion {
+		proto = wire.ProtoVersion
+	}
+
+	manifest := make(workload.Manifest, len(h.Files))
+	var total int64
+	for i, f := range h.Files {
+		manifest[i] = workload.File{Name: f.Name, Size: f.Size}
+		total += f.Size
+	}
+	chunkBytes := h.ChunkBytes
+	if chunkBytes <= 0 {
+		chunkBytes = r.Cfg.ChunkBytes
+	}
+
+	// Session ledger: reload a persisted one when the store supports it
+	// and the sender named a session, re-verifying every committed range
+	// against the destination (a missing file or corrupt region loses
+	// just its ledger entry) before advertising it.
+	session := h.SessionID
+	if session == "" {
+		session = NewSessionID()
+	}
+	ledger := NewLedger(session, chunkBytes, manifest, h.Checksums)
+	ls, canPersist := r.Store.(fsim.LedgerStore)
+	resumable := canPersist && h.SessionID != "" && fsim.ValidSessionID(h.SessionID)
+	if resumable {
+		if data, err := ls.LoadLedger(session); err == nil {
+			old, derr := DecodeLedger(data)
+			if derr == nil && old.MatchesManifest(manifest) == nil && old.HasSums == h.Checksums {
+				if kept, _ := old.VerifyAgainst(r.Store); kept > 0 {
+					metrics.ResumeSessionInc()
+					metrics.ResumeSkippedAdd(kept)
+				}
+				ledger = old
+				// The persisted ledger pins the session's chunk
+				// geometry: the Welcome advertises its chunk size and
+				// the sender plans with it, so a changed sender config
+				// cannot orphan the committed ranges.
+				chunkBytes = old.ChunkBytes
+			}
+		}
+	}
+	// sessionDone flips once the session completed and its ledger was
+	// removed; the deferred persist must not resurrect it. persistMu
+	// serializes writers (ticker, CRC-mismatch path, shutdown defer) so
+	// two saves can never interleave on the store's temp file.
+	var sessionDone atomic.Bool
+	var persistMu sync.Mutex
+	persist := func() {
+		persistMu.Lock()
+		defer persistMu.Unlock()
+		if !resumable || sessionDone.Load() || !ledger.takeDirty() {
+			return
+		}
+		if data, err := ledger.Encode(); err == nil {
+			ls.SaveLedger(session, data)
+		}
+	}
+	persist() // verification may have cleared ranges
+
+	if proto >= 1 {
+		if err := ctrl.Send(wire.Message{Welcome: &wire.Welcome{
+			ProtoVersion: proto,
+			SessionID:    session,
+			ChunkBytes:   chunkBytes,
+			Ledger:       ledger.WireStates(),
+		}}); err != nil {
+			return fmt.Errorf("transfer: send welcome: %w", err)
+		}
+	}
 
 	bufCap := r.Cfg.ReceiverBufBytes
 	if h.ReceiverBufBytes > 0 {
@@ -104,7 +235,6 @@ func (r *Receiver) Serve(ctx context.Context) error {
 	staging := NewStaging(bufCap)
 	defer staging.Close()
 
-	var total int64
 	writers := make([]fsim.FileWriter, len(h.Files))
 	var writerMu sync.Mutex
 	writerFor := func(id uint32) (fsim.FileWriter, error) {
@@ -131,9 +261,6 @@ func (r *Receiver) Serve(ctx context.Context) error {
 		}
 		writerMu.Unlock()
 	}()
-	for _, f := range h.Files {
-		total += f.Size
-	}
 
 	arena := r.Cfg.arena()
 
@@ -190,6 +317,11 @@ func (r *Receiver) Serve(ctx context.Context) error {
 						}
 						return
 					}
+					// The ledger sum is deliberately NOT the wire CRC:
+					// the write stage re-hashes the payload at commit, so
+					// corruption between frame verification and the disk
+					// write (staging memory, a premature buffer reuse)
+					// still trips the sender-vs-receiver FileSum compare.
 					if !staging.Put(Chunk{FileID: f.FileID, Offset: f.Offset, Data: f.Data, Buf: pending}) {
 						if pending != nil {
 							pending.Release()
@@ -201,15 +333,54 @@ func (r *Receiver) Serve(ctx context.Context) error {
 		}
 	}()
 
-	// Write pool.
+	// End-to-end file verification state (checksummed sessions).
+	chk := newSumChecker()
+	// checkFile verifies one announced file once it is fully committed:
+	// the ledger's per-chunk sums are folded into the whole-file CRC and
+	// compared against the sender's. A mismatch invalidates exactly that
+	// file's ledger range — the next resume replans it — and fails the
+	// session. A file is marked checked only AFTER the verdict lands:
+	// finishSession re-verifies anything still pending, so a mismatch
+	// discovered by a write worker can never race session completion
+	// into reporting success (duplicate concurrent verifications are
+	// harmless — same sums, same verdict, idempotent invalidation).
+	checkFile := func(fileID uint32) {
+		chk.mu.Lock()
+		want, announced := chk.expected[fileID]
+		if !announced || chk.checked[fileID] || !ledger.FileComplete(fileID) {
+			chk.mu.Unlock()
+			return
+		}
+		chk.mu.Unlock()
+		got, ok := ledger.FileCRC(fileID)
+		if !ok {
+			return
+		}
+		if got != want {
+			n := ledger.InvalidateFile(fileID)
+			metrics.ResumeInvalidatedAdd(int64(n))
+			persist()
+			r.fail(fmt.Errorf("transfer: end-to-end CRC mismatch on %s: got %#x want %#x (%d-chunk ledger range invalidated)",
+				manifest[fileID].Name, got, want, n))
+			cancel()
+		}
+		chk.mu.Lock()
+		chk.checked[fileID] = true
+		chk.mu.Unlock()
+	}
+
+	// Write pool. Completion is ledger-driven: the session is done when
+	// every chunk — freshly written or inherited from a resumed ledger —
+	// is committed.
 	var written atomic.Int64
 	var writeCounter metrics.Counter
 	perThread := newLimiterSet(r.Cfg.Shaping.WritePerThreadMbps, r.Cfg.ChunkBytes)
 	agg := newLimiter(r.Cfg.Shaping.WriteAggMbps, r.Cfg.ChunkBytes)
 	writeDone := make(chan struct{})
 	var writeOnce sync.Once
-	if total == 0 {
-		// Nothing to move: the session is complete as soon as it starts.
+	if ledger.CommittedBytes() >= total {
+		// Nothing to move (empty dataset, or a resume that was already
+		// complete): the session is done as soon as it starts.
 		writeOnce.Do(func() { close(writeDone) })
 	}
 	pool := NewPool(func(stop <-chan struct{}, id int) {
@@ -238,6 +409,12 @@ func (r *Receiver) Serve(ctx context.Context) error {
 				}
 				continue
 			}
+			if ledger.Done(c.FileID, c.Offset) {
+				// Duplicate of a committed chunk (resume overlap or a
+				// replayed frame): drop it without touching the disk.
+				c.Release()
+				continue
+			}
 			if err := lim.WaitN(ctx, len(c.Data)); err != nil {
 				c.Release()
 				return
@@ -255,6 +432,15 @@ func (r *Receiver) Serve(ctx context.Context) error {
 			}
 			_, err = w.WriteAt(c.Data, c.Offset)
 			n := int64(len(c.Data))
+			fileID, offset := c.FileID, c.Offset
+			var sum uint32
+			if h.Checksums {
+				// Hash at the last stage before the lease is returned:
+				// this sum reflects what actually reached the store, so
+				// the FileSum compare is end-to-end, not an echo of the
+				// already-verified wire CRC.
+				sum = wire.PayloadCRC(c.Data)
+			}
 			// The arena lease ends only once the write has committed (or
 			// failed): this is the last stage of the chunk lifecycle.
 			c.Release()
@@ -264,8 +450,14 @@ func (r *Receiver) Serve(ctx context.Context) error {
 				return
 			}
 			writeCounter.Add(n)
-			if written.Add(n) >= total {
-				writeOnce.Do(func() { close(writeDone) })
+			written.Add(n)
+			if ledger.Commit(fileID, offset, int(n), sum) {
+				if h.Checksums {
+					checkFile(fileID)
+				}
+				if ledger.CommittedBytes() >= total {
+					writeOnce.Do(func() { close(writeDone) })
+				}
 			}
 		}
 	})
@@ -278,7 +470,9 @@ func (r *Receiver) Serve(ctx context.Context) error {
 	// data connection, then wait for the readers those connections fed),
 	// close staging so a reader still mid-Put fails and releases its own
 	// lease, stop the write pool, and only then drain what's left. After
-	// this defer runs, every arena lease this session took is returned.
+	// this defer runs, every arena lease this session took is returned,
+	// and the ledger's latest state is persisted so the next attempt can
+	// resume from it.
 	defer func() {
 		r.dataLn.Close()
 		connsMu.Lock()
@@ -296,9 +490,11 @@ func (r *Receiver) Serve(ctx context.Context) error {
 		readerWG.Wait()
 		pool.Shutdown()
 		staging.ReleaseRemaining()
+		persist()
 	}()
 
-	// Control loop: periodic status out, SetWriters commands in.
+	// Control loop: periodic status out; SetWriters commands and session
+	// sums in.
 	cmds := make(chan wire.Message, 8)
 	go func() {
 		for {
@@ -320,12 +516,13 @@ func (r *Receiver) Serve(ctx context.Context) error {
 		wBytes := writeCounter.Reset()
 		mbps := bytesToMb(wBytes) / r.Cfg.ProbeInterval.Seconds()
 		st := wire.Status{
-			WrittenBytes: written.Load(),
-			BufUsed:      staging.Used(),
-			BufFree:      staging.Free(),
-			WriteMbps:    mbps,
-			Writers:      pool.Size(),
-			Done:         done,
+			WrittenBytes:   written.Load(),
+			CommittedBytes: ledger.CommittedBytes(),
+			BufUsed:        staging.Used(),
+			BufFree:        staging.Free(),
+			WriteMbps:      mbps,
+			Writers:        pool.Size(),
+			Done:           done,
 		}
 		if e := r.Err(); e != nil {
 			st.Error = e.Error()
@@ -333,28 +530,94 @@ func (r *Receiver) Serve(ctx context.Context) error {
 		return ctrl.Send(wire.Message{Status: &st})
 	}
 
+	handleCmd := func(m wire.Message) {
+		switch {
+		case m.SetWriters != nil:
+			n := m.SetWriters.N
+			if n > r.Cfg.MaxThreads {
+				n = r.Cfg.MaxThreads
+			}
+			if n < 1 {
+				n = 1
+			}
+			pool.Resize(n)
+		case m.FileSum != nil:
+			chk.mu.Lock()
+			chk.expected[m.FileSum.FileID] = m.FileSum.CRC
+			chk.got++
+			chk.mu.Unlock()
+			checkFile(m.FileSum.FileID)
+		case m.SumsDone != nil:
+			chk.mu.Lock()
+			chk.finished = true
+			chk.want = m.SumsDone.Files
+			chk.mu.Unlock()
+		}
+	}
+
+	// finishSession concludes a fully committed session: verify every
+	// announced file sum, then either persist the (invalidated) ledger
+	// and fail, or drop the ledger and confirm completion. A checksummed
+	// session whose sums never fully arrived (lost control messages)
+	// still completes — the data passed the per-frame CRCs — but the
+	// degradation is counted, and the ledger is kept instead of removed
+	// so re-running the session can still verify retroactively.
+	finishSession := func() error {
+		unverified := h.Checksums && proto >= 1 && !chk.drained()
+		if unverified {
+			metrics.ResumeUnverifiedInc()
+		}
+		for _, id := range chk.pending() {
+			checkFile(id)
+		}
+		if e := r.Err(); e != nil {
+			persist()
+			sendStatus(false)
+			return e
+		}
+		if unverified {
+			persist()
+		}
+		sessionDone.Store(true)
+		if resumable && !unverified {
+			ls.RemoveLedger(session)
+		}
+		if err := sendStatus(true); err != nil {
+			return err
+		}
+		return nil
+	}
+
+	// waitDone is nil-ed after firing so the select can keep serving
+	// control messages while late FileSums drain (the control and data
+	// channels are separate TCP connections, so the last sums can trail
+	// the last frame).
+	waitDone := writeDone
+	var sumGrace <-chan time.Time
 	for {
 		select {
 		case <-ctx.Done():
 			sendStatus(false)
 			return r.Err()
-		case <-writeDone:
-			if err := sendStatus(true); err != nil {
-				return err
+		case <-waitDone:
+			waitDone = nil
+			if h.Checksums && proto >= 1 && !chk.drained() {
+				// Generous: the happy path completes via cmds the moment
+				// the trailing sums land, so the grace only bounds how
+				// long a genuinely lost SumsDone can stall completion.
+				sumGrace = time.After(30 * time.Second)
+				continue
 			}
-			return r.Err()
+			return finishSession()
+		case <-sumGrace:
+			return finishSession() // sender never closed out its sums; verify what arrived
 		case m := <-cmds:
-			if m.SetWriters != nil {
-				n := m.SetWriters.N
-				if n > r.Cfg.MaxThreads {
-					n = r.Cfg.MaxThreads
-				}
-				if n < 1 {
-					n = 1
-				}
-				pool.Resize(n)
+			handleCmd(m)
+			if waitDone == nil && chk.drained() {
+				return finishSession()
 			}
 		case <-ticker.C:
+			persist()
 			if err := sendStatus(false); err != nil {
 				return err
 			}

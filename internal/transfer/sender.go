@@ -19,12 +19,24 @@ import (
 type Result struct {
 	// Duration is the wall time from Run start to receiver completion.
 	Duration time.Duration
-	// Bytes is the payload volume transferred.
+	// Bytes is the payload volume transferred by this run (for a resumed
+	// session: the dataset minus the ranges the ledger already covered).
 	Bytes int64
-	// AvgMbps is the end-to-end goodput.
+	// AvgMbps is the end-to-end goodput over the transferred bytes.
 	AvgMbps float64
 	// Controller names the optimizer that drove the run.
 	Controller string
+	// SessionID is the negotiated session identity.
+	SessionID string
+	// Resumed reports whether the receiver's ledger covered part of the
+	// dataset before this run started.
+	Resumed bool
+	// SkippedBytes is the committed volume the planner skipped — data
+	// that never crossed the wire again.
+	SkippedBytes int64
+	// WireBytes is the payload volume actually sent on the data
+	// connections by this run (the figure the resume e2e test bounds).
+	WireBytes int64
 	// Recorder holds the per-tick concurrency and throughput traces
 	// (series: cc_read, cc_net, cc_write, thr_read, thr_net, thr_write),
 	// the raw material for the paper's figures.
@@ -88,43 +100,115 @@ func (s *Sender) status() wire.Status {
 	return s.lastStatus
 }
 
-// chunker hands out sequential chunk references over the manifest.
+// chunker hands out sequential chunk references over the manifest,
+// skipping ranges the session ledger already covers (skip may be nil for
+// a fresh plan).
 type chunker struct {
 	mu    sync.Mutex
 	files workload.Manifest
 	chunk int64
+	skip  *Ledger
 	fi    int
 	off   int64
-	total int64 // total chunk count
+	total int64 // planned (non-skipped) chunk count
 }
 
-func newChunker(m workload.Manifest, chunkBytes int) *chunker {
-	c := &chunker{files: m, chunk: int64(chunkBytes)}
+func newChunker(m workload.Manifest, chunkBytes int, skip *Ledger) *chunker {
+	c := &chunker{files: m, chunk: int64(chunkBytes), skip: skip}
 	for _, f := range m {
 		c.total += (f.Size + c.chunk - 1) / c.chunk
+	}
+	if skip != nil {
+		c.total -= skip.CommittedChunks()
 	}
 	return c
 }
 
-// next returns the next chunk reference, or ok=false when exhausted.
+// next returns the next planned chunk reference, or ok=false when
+// exhausted.
 func (c *chunker) next() (fileID uint32, off int64, n int, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for c.fi < len(c.files) && c.off >= c.files[c.fi].Size {
-		c.fi++
-		c.off = 0
+	for {
+		for c.fi < len(c.files) && c.off >= c.files[c.fi].Size {
+			c.fi++
+			c.off = 0
+		}
+		if c.fi >= len(c.files) {
+			return 0, 0, 0, false
+		}
+		f := c.files[c.fi]
+		size := c.chunk
+		if c.off+size > f.Size {
+			size = f.Size - c.off
+		}
+		fileID, off, n = uint32(c.fi), c.off, int(size)
+		c.off += size
+		if c.skip != nil && c.skip.Done(fileID, off) {
+			continue // committed in a previous attempt; not re-read
+		}
+		return fileID, off, n, true
 	}
-	if c.fi >= len(c.files) {
-		return 0, 0, 0, false
+}
+
+// fileSummer accumulates per-chunk CRCs on the sender and yields each
+// file's combined end-to-end CRC-32C once every chunk of that file has
+// been read this session. Files partially covered by a resumed ledger
+// are not summed (their committed chunks are never re-read); their
+// integrity rests on the receiver's ledger sums, which were verified by
+// read-back when the session resumed.
+type fileSummer struct {
+	chunk int64
+	mu    sync.Mutex
+	files []sumState
+}
+
+type sumState struct {
+	size int64
+	sums []uint32 // nil when the file is not summable this session
+	got  int
+}
+
+func newFileSummer(m workload.Manifest, chunkBytes int, resume *Ledger) *fileSummer {
+	fs := &fileSummer{chunk: int64(chunkBytes), files: make([]sumState, len(m))}
+	for i, f := range m {
+		n := int((f.Size + fs.chunk - 1) / fs.chunk)
+		st := sumState{size: f.Size}
+		if n > 0 && (resume == nil || resume.FileCommitted(uint32(i)) == 0) {
+			st.sums = make([]uint32, n)
+		}
+		fs.files[i] = st
 	}
-	f := c.files[c.fi]
-	size := c.chunk
-	if c.off+size > f.Size {
-		size = f.Size - c.off
+	return fs
+}
+
+// expected returns how many FileSum messages this session will emit.
+func (fs *fileSummer) expected() int {
+	n := 0
+	for i := range fs.files {
+		if fs.files[i].sums != nil {
+			n++
+		}
 	}
-	fileID, off, n = uint32(c.fi), c.off, int(size)
-	c.off += size
-	return fileID, off, n, true
+	return n
+}
+
+// add records one chunk's CRC. When the chunk completes its file, the
+// whole-file CRC (per-chunk sums folded in order through CombineCRC) is
+// returned with done=true.
+func (fs *fileSummer) add(fileID uint32, off int64, sum uint32) (crc uint32, done bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	st := &fs.files[fileID]
+	if st.sums == nil {
+		return 0, false
+	}
+	st.sums[off/fs.chunk] = sum
+	st.got++
+	if st.got < len(st.sums) {
+		return 0, false
+	}
+	return wire.FoldChunkCRCs(st.sums, fs.chunk, st.size), true
 }
 
 // Run executes the transfer against a receiver listening at the given
@@ -138,6 +222,13 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 	if h := cfg.Hooks.OnDone; h != nil {
 		defer func() { h(res, err) }()
 	}
+	// A session id the destination store would reject must fail loudly
+	// here, not silently degrade to a non-resumable transfer.
+	if cfg.SessionID != "" && !fsim.ValidSessionID(cfg.SessionID) {
+		return nil, fmt.Errorf("transfer: invalid session id %q (want [A-Za-z0-9._-], ≤128 chars)", cfg.SessionID)
+	}
+
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -147,7 +238,16 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 	}
 	ctrl := wire.NewConn(ctrlRaw)
 	defer ctrl.Close()
+	// A cancelled caller context must unblock every control-channel
+	// operation — in particular the synchronous Welcome wait below, where
+	// a sender would otherwise hang between the control handshake and the
+	// first data dial. The watch is on the parent only: an internal
+	// failure (cancel()) must keep the channel open so the receiver's
+	// root-cause report can still land.
+	stopCtrlWatch := context.AfterFunc(parent, func() { ctrl.Close() })
+	defer stopCtrlWatch()
 
+	checksums := cfg.checksums()
 	files := make([]wire.FileInfo, len(s.Manifest))
 	for i, f := range s.Manifest {
 		files[i] = wire.FileInfo{Name: f.Name, Size: f.Size}
@@ -158,13 +258,89 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 		MaxWriters:       cfg.MaxThreads,
 		InitialWriters:   cfg.InitialThreads,
 		ReceiverBufBytes: cfg.ReceiverBufBytes,
+		ProtoVersion:     wire.ProtoVersion,
+		SessionID:        cfg.SessionID,
+		Checksums:        checksums,
 	}}); err != nil {
 		return nil, fmt.Errorf("transfer: send hello: %w", err)
 	}
 
+	// Versioned negotiation: the receiver answers with its chunk ledger,
+	// from which this run plans only the missing ranges. A deadline turns
+	// the one unrecoverable mixed-version pairing — a v0 receiver that
+	// will never send a Welcome, only statuses — into a clear error
+	// instead of a silent indefinite hang. A fresh session's Welcome
+	// arrives within one RTT of the Hello; a resume first re-reads and
+	// re-hashes every committed byte at the destination, so the deadline
+	// scales with how much data a ledger could cover.
+	welcomeTimeout := 30 * time.Second
+	if cfg.SessionID != "" {
+		welcomeTimeout = 10 * time.Minute
+	}
+	hsTimer := time.AfterFunc(welcomeTimeout, func() { ctrl.Close() })
+	var welcome *wire.Welcome
+	for welcome == nil {
+		m, err := ctrl.Recv()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if !hsTimer.Stop() {
+				return nil, fmt.Errorf("transfer: no Welcome within %v — receiver speaks protocol 0? upgrade receivers before senders", welcomeTimeout)
+			}
+			return nil, fmt.Errorf("transfer: handshake: %w", err)
+		}
+		if m.Status != nil && m.Status.Error != "" {
+			hsTimer.Stop()
+			return nil, fmt.Errorf("transfer: receiver: %s", m.Status.Error)
+		}
+		welcome = m.Welcome
+	}
+	hsTimer.Stop()
+	chunkBytes := cfg.ChunkBytes
+	if welcome.ChunkBytes > 0 {
+		chunkBytes = welcome.ChunkBytes // a resumed ledger pins the geometry
+	}
+
 	total := s.Manifest.TotalBytes()
+	var resume *Ledger
+	var skipped int64
+	if len(welcome.Ledger) > 0 {
+		resume = NewLedger(welcome.SessionID, chunkBytes, s.Manifest, false)
+		resume.ApplyWire(welcome.Ledger)
+		skipped = resume.CommittedBytes()
+	}
+	sess := Session{
+		ID:           welcome.SessionID,
+		Resumed:      skipped > 0,
+		TotalBytes:   total,
+		SkippedBytes: skipped,
+	}
+	if h := cfg.Hooks.OnSession; h != nil {
+		h(sess)
+	}
+	planned := total - skipped
+
 	staging := NewStaging(cfg.SenderBufBytes)
-	src := newChunker(s.Manifest, cfg.ChunkBytes)
+	src := newChunker(s.Manifest, chunkBytes, resume)
+
+	// End-to-end file sums: announced as reads complete, closed out with
+	// a SumsDone marker so the receiver knows when commit-time
+	// verification can conclude.
+	var summer *fileSummer
+	var sumsDoneOnce sync.Once
+	sendSumsDone := func() {}
+	if checksums {
+		summer = newFileSummer(s.Manifest, chunkBytes, resume)
+		expect := summer.expected()
+		sendSumsDone = func() {
+			sumsDoneOnce.Do(func() {
+				// Send errors here are symptoms of a dying session; the
+				// data plane surfaces the root cause.
+				ctrl.Send(wire.Message{SumsDone: &wire.SumsDone{Files: expect}})
+			})
+		}
+	}
 
 	// Per-file reader cache.
 	readers := make([]fsim.FileReader, len(s.Manifest))
@@ -192,6 +368,7 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 	}()
 
 	var readCounter, netCounter metrics.Counter
+	var netTotal atomic.Int64
 	var chunksStaged atomic.Int64
 	arena := cfg.arena()
 	readPerThread := newLimiterSet(cfg.Shaping.ReadPerThreadMbps, cfg.ChunkBytes)
@@ -236,15 +413,32 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 				return
 			}
 			readCounter.Add(int64(n))
-			if !staging.Put(Chunk{FileID: fileID, Offset: off, Data: buf.Bytes(), Buf: buf}) {
+			var sum uint32
+			if checksums {
+				// Hash once at the read stage; the frame writer and the
+				// receiver's ledger both reuse this value.
+				sum = wire.PayloadCRC(buf.Bytes())
+				if crc, done := summer.add(fileID, off, sum); done {
+					ctrl.Send(wire.Message{FileSum: &wire.FileSum{FileID: fileID, CRC: crc}})
+				}
+			}
+			if !staging.Put(Chunk{FileID: fileID, Offset: off, Data: buf.Bytes(), Buf: buf, Sum: sum}) {
 				buf.Release()
 				return
 			}
 			if chunksStaged.Add(1) == src.total {
+				sendSumsDone()
 				staging.Close() // all chunks staged; network drains the rest
 			}
 		}
 	})
+	if src.total == 0 {
+		// Nothing left to plan (empty dataset or a fully committed
+		// resume): close the intake so the data plane drains to the end
+		// markers immediately.
+		sendSumsDone()
+		staging.Close()
+	}
 
 	// doneCh closes when the receiver confirms completion. Declared before
 	// the network pool because workers consult it on dial failure.
@@ -329,15 +523,18 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 				return
 			}
 			err := fw.Write(conn, wire.Frame{
-				FileID: c.FileID, Offset: c.Offset, Data: c.Data, Checksum: cfg.Checksums,
+				FileID: c.FileID, Offset: c.Offset, Data: c.Data,
+				Checksum: checksums, Sum: c.Sum, SumKnown: checksums,
 			})
+			n := int64(len(c.Data))
 			c.Release()
 			if err != nil {
 				s.failSymptom(fmt.Errorf("transfer: send frame: %w", err))
 				cancel()
 				return
 			}
-			netCounter.Add(int64(len(c.Data)))
+			netCounter.Add(n)
+			netTotal.Add(n)
 		}
 	})
 	// Cleanup order matters: closing the staging buffer first wakes
@@ -418,6 +615,9 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 		if h := cfg.Hooks.OnTick; h != nil {
 			h(state)
 		}
+		if h := cfg.Hooks.OnProgress; h != nil {
+			h(st.CommittedBytes, total)
+		}
 		return state
 	}
 
@@ -446,11 +646,15 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 			record()
 			d := time.Since(start)
 			return &Result{
-				Duration:   d,
-				Bytes:      total,
-				AvgMbps:    bytesToMb(total) / d.Seconds(),
-				Controller: ctrlName,
-				Recorder:   rec,
+				Duration:     d,
+				Bytes:        planned,
+				AvgMbps:      bytesToMb(planned) / d.Seconds(),
+				Controller:   ctrlName,
+				SessionID:    sess.ID,
+				Resumed:      sess.Resumed,
+				SkippedBytes: skipped,
+				WireBytes:    netTotal.Load(),
+				Recorder:     rec,
 			}, s.Err()
 		case <-ticker.C:
 			state := record()
@@ -463,8 +667,24 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 			if act.Threads[2] != writers {
 				writers = act.Threads[2]
 				if err := ctrl.Send(wire.Message{SetWriters: &wire.SetWriters{N: writers}}); err != nil {
-					s.failSymptom(fmt.Errorf("transfer: send SetWriters: %w", err))
-					cancel()
+					// The receiver tears the control channel down the
+					// moment it confirms completion, so a probe tick can
+					// lose this race and hit a reset on a finished
+					// transfer. Give the control reader a moment to
+					// deliver the final Done before calling it a failure.
+					select {
+					case <-doneCh:
+					case <-ctrlDone:
+						select {
+						case <-doneCh:
+						default:
+							s.failSymptom(fmt.Errorf("transfer: send SetWriters: %w", err))
+							cancel()
+						}
+					case <-time.After(500 * time.Millisecond):
+						s.failSymptom(fmt.Errorf("transfer: send SetWriters: %w", err))
+						cancel()
+					}
 				}
 			}
 		}

@@ -21,6 +21,12 @@ type Chunk struct {
 	Offset int64
 	Data   []byte
 	Buf    *Buf
+	// Sum is the payload CRC-32C computed by the sender's read stage,
+	// carried along so the frame writer never re-hashes the chunk. The
+	// receiver deliberately ignores it: its ledger records a fresh hash
+	// taken at the write stage, keeping file verification end-to-end.
+	// Zero and meaningless when the session runs unchecksummed.
+	Sum uint32
 }
 
 // Release returns the chunk's arena lease, if any. Safe to call more

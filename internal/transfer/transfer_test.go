@@ -29,7 +29,7 @@ func TestChunkerCoversManifestExactly(t *testing.T) {
 		{Name: "b", Size: 64},
 		{Name: "c", Size: 1},
 	}
-	c := newChunker(m, 64)
+	c := newChunker(m, 64, nil)
 	var total int64
 	counts := map[uint32]int64{}
 	for {
@@ -62,7 +62,7 @@ func TestChunkerSkipsEmptyFiles(t *testing.T) {
 		{Name: "empty", Size: 0},
 		{Name: "a", Size: 10},
 	}
-	c := newChunker(m, 64)
+	c := newChunker(m, 64, nil)
 	id, _, n, ok := c.next()
 	if !ok || id != 1 || n != 10 {
 		t.Fatalf("got id=%d n=%d ok=%v", id, n, ok)
@@ -126,7 +126,9 @@ func TestLoopbackWithChecksums(t *testing.T) {
 	dst := fsim.NewSyntheticStore()
 	dst.Verify = true
 	cfg := testConfig()
-	cfg.Checksums = true
+	if cfg.DisableChecksums {
+		t.Fatal("checksums should be the default")
+	}
 	m := workload.LargeFiles(6, 512<<10)
 	res, err := Loopback(context.Background(), cfg, m, src, dst, nil)
 	if err != nil {
@@ -134,6 +136,22 @@ func TestLoopbackWithChecksums(t *testing.T) {
 	}
 	if res.Bytes != m.TotalBytes() || len(dst.Errors()) != 0 {
 		t.Fatalf("checksummed transfer failed: bytes=%d errs=%v", res.Bytes, dst.Errors())
+	}
+}
+
+func TestLoopbackChecksumsDisabled(t *testing.T) {
+	src := fsim.NewSyntheticStore()
+	dst := fsim.NewSyntheticStore()
+	dst.Verify = true
+	cfg := testConfig()
+	cfg.DisableChecksums = true
+	m := workload.LargeFiles(6, 512<<10)
+	res, err := Loopback(context.Background(), cfg, m, src, dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != m.TotalBytes() || len(dst.Errors()) != 0 {
+		t.Fatalf("unchecksummed transfer failed: bytes=%d errs=%v", res.Bytes, dst.Errors())
 	}
 }
 

@@ -14,6 +14,17 @@ import (
 	"net"
 )
 
+// ProtoVersion is the control-channel protocol generation this build
+// speaks. Version 0 is the original one-shot handshake (Hello, then
+// statuses). Version 1 adds resumable sessions: the receiver answers
+// Hello with a Welcome carrying its chunk ledger, and the sender streams
+// per-file end-to-end CRCs (FileSum) for commit-time verification. The
+// receiver negotiates down — a v1 receiver serves a v0 sender, whose
+// control loop ignores the unsolicited Welcome — but compatibility is
+// one-way: a v1 sender waits for a Welcome that a v0 receiver will never
+// send, so receivers must be upgraded before senders.
+const ProtoVersion = 1
+
 // EndStream is the FileID value marking the end of a data connection.
 const EndStream = ^uint32(0)
 
@@ -41,6 +52,13 @@ type Frame struct {
 	// Checksum, when true on write, adds a CRC-32C over the payload that
 	// the receiver verifies (end-to-end integrity, as Globus offers).
 	Checksum bool
+	// Sum is the payload CRC-32C. On write it is used instead of a fresh
+	// computation when SumKnown is set (the read stage already hashed the
+	// chunk for the session ledger); on a verified checksummed read it is
+	// filled with the payload CRC so the commit path can reuse it.
+	Sum uint32
+	// SumKnown reports whether Sum holds a valid payload CRC.
+	SumKnown bool
 }
 
 // EncodeHeader encodes f's header (including the payload CRC when
@@ -54,7 +72,11 @@ func EncodeHeader(hdr *[FrameHeaderSize]byte, f Frame) error {
 	length := uint32(len(f.Data))
 	if f.Checksum {
 		length |= lengthChecksummed
-		binary.BigEndian.PutUint32(hdr[16:20], crc32.Checksum(f.Data, castagnoli))
+		sum := f.Sum
+		if !f.SumKnown {
+			sum = crc32.Checksum(f.Data, castagnoli)
+		}
+		binary.BigEndian.PutUint32(hdr[16:20], sum)
 	} else {
 		binary.BigEndian.PutUint32(hdr[16:20], 0)
 	}
@@ -163,6 +185,7 @@ func (fr *FrameReader) Read(r io.Reader, alloc func(n int) []byte) (Frame, error
 			return Frame{}, fmt.Errorf("wire: checksum mismatch on file %d offset %d: %#x != %#x",
 				f.FileID, f.Offset, got, want)
 		}
+		f.Sum, f.SumKnown = want, true
 	}
 	return f, nil
 }
@@ -182,6 +205,56 @@ type Hello struct {
 	// ReceiverBufBytes requests a staging capacity; zero keeps the
 	// receiver default.
 	ReceiverBufBytes int64
+	// ProtoVersion is the sender's protocol generation (zero for legacy
+	// senders, whose gob encoding omits the field entirely).
+	ProtoVersion int
+	// SessionID names the resumable session to create or resume. Empty
+	// means a one-shot transfer: the receiver neither persists nor
+	// consults a ledger.
+	SessionID string
+	// Checksums announces that data frames carry payload CRCs and that
+	// the session records per-chunk sums in its ledger for end-to-end
+	// file verification.
+	Checksums bool
+}
+
+// FileState is one file's ledger entry advertised in a Welcome: which
+// chunks the receiver has already committed to the destination store.
+type FileState struct {
+	FileID uint32
+	// CommittedBytes is the payload volume already safe at the receiver.
+	CommittedBytes int64
+	// Bitmap marks committed chunks, LSB-first (chunk i is bit i%64 of
+	// word i/64). Nil when nothing is committed.
+	Bitmap []uint64
+}
+
+// Welcome is the receiver's reply to a protocol ≥ 1 Hello: the
+// negotiated version, the authoritative session identity, and the chunk
+// ledger from which the sender plans only the missing ranges.
+type Welcome struct {
+	ProtoVersion int
+	SessionID    string
+	// ChunkBytes is the session's chunk size; a resumed ledger pins it.
+	ChunkBytes int
+	// Ledger lists per-file committed state. Empty for fresh sessions.
+	Ledger []FileState
+}
+
+// FileSum carries the sender's end-to-end CRC-32C of one fully read
+// file, combined from per-chunk sums. The receiver verifies it against
+// its own combined ledger sums when the file commits.
+type FileSum struct {
+	FileID uint32
+	CRC    uint32
+}
+
+// SumsDone tells the receiver no further FileSum messages will follow
+// (every file the sender will verify has been announced). Files is how
+// many FileSum messages were sent in total; the receiver uses it to
+// finish commit-time verification before reporting completion.
+type SumsDone struct {
+	Files int
 }
 
 // SetWriters commands the receiver to resize its write pool (the
@@ -200,6 +273,10 @@ type Status struct {
 	WriteMbps    float64
 	Writers      int
 	Done         bool
+	// CommittedBytes is the ledger-committed payload volume, including
+	// ranges inherited from previous attempts of a resumed session —
+	// the per-job resume progress the daemon exposes.
+	CommittedBytes int64
 	// Error carries a fatal receiver-side failure description.
 	Error string
 }
@@ -207,7 +284,10 @@ type Status struct {
 // Message is the control-channel envelope; exactly one field is non-nil.
 type Message struct {
 	Hello      *Hello
+	Welcome    *Welcome
 	SetWriters *SetWriters
+	FileSum    *FileSum
+	SumsDone   *SumsDone
 	Status     *Status
 }
 
