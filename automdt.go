@@ -50,6 +50,9 @@ type (
 	// TransferSession describes a negotiated resumable session (set
 	// TransferConfig.SessionID; observe via TransferConfig.Hooks.OnSession).
 	TransferSession = transfer.Session
+	// SessionResult summarizes one session served by a multi-session
+	// receiver endpoint (observe via Receiver.OnSessionDone).
+	SessionResult = transfer.SessionResult
 	// Manifest lists the files of a dataset.
 	Manifest = workload.Manifest
 	// File is one manifest entry.
@@ -104,8 +107,10 @@ func LoopbackTransfer(ctx context.Context, cfg TransferConfig, m Manifest,
 	return transfer.Loopback(ctx, cfg, m, src, dst, ctrl)
 }
 
-// NewReceiver creates a destination-side engine writing into store. Call
-// Listen then Serve.
+// NewReceiver creates a destination-side endpoint writing into store.
+// Call Listen, then Serve (multi-session, until the context ends) or
+// ServeN (bounded session count — ServeN(ctx, 1) is a one-shot
+// receiver).
 func NewReceiver(cfg TransferConfig, store Store) *transfer.Receiver {
 	return transfer.NewReceiver(cfg, store)
 }

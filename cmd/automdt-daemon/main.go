@@ -39,6 +39,7 @@ import (
 	"automdt/internal/rl"
 	"automdt/internal/sched"
 	"automdt/internal/static"
+	"automdt/internal/transfer"
 )
 
 func fatal(err error) {
@@ -53,6 +54,8 @@ func main() {
 	budgetWrite := flag.Int("budget-write", 32, "global write worker budget")
 	maxActive := flag.Int("max-active", 0, "max concurrent jobs (0 = min stage budget)")
 	opt := flag.String("optimizer", "marlin", "per-job optimizer: marlin, static, automdt")
+	endpoint := flag.Bool("endpoint", false, "run all jobs against one shared multi-session receiver endpoint instead of one private receiver per job")
+	maxSessions := flag.Int("max-sessions", 0, "shared endpoint admission cap (with -endpoint; 0 = default 64)")
 	cc := flag.Int("cc", 4, "static optimizer concurrency")
 	model := flag.String("model", "", "automdt agent checkpoint (from automdt-train)")
 	profilePath := flag.String("profile", "", "automdt probed profile JSON (from automdt-train)")
@@ -98,14 +101,29 @@ func main() {
 		fatal(fmt.Errorf("unknown optimizer %q", *opt))
 	}
 
+	var runner sched.Runner = &sched.LoopbackRunner{}
+	if *endpoint {
+		er := &sched.EndpointRunner{
+			Receiver: transfer.Config{MaxSessions: *maxSessions},
+		}
+		defer er.Close()
+		runner = er
+	}
 	s, err := sched.New(sched.Config{
 		Budget:        [3]int{*budgetRead, *budgetNet, *budgetWrite},
 		MaxActive:     *maxActive,
 		NewController: newController,
-		Runner:        &sched.LoopbackRunner{},
+		Runner:        runner,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if er, ok := runner.(*sched.EndpointRunner); ok {
+		data, ctrl, err := er.Addrs()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("automdt-daemon: shared endpoint serving data %s, control %s\n", data, ctrl)
 	}
 
 	srv := &http.Server{

@@ -1,9 +1,18 @@
 // Command automdt-xfer runs a real sender/receiver transfer over TCP with
 // a pluggable optimizer — the production phase of §IV-F.
 //
-// Receiver (destination DTN):
+// One-shot receiver (serves a single session, then exits):
 //
 //	automdt-xfer recv -data :9000 -ctrl :9001 -dir /staging/dst
+//
+// Multi-session endpoint (one listener pair serving a fleet of senders):
+//
+//	automdt-xfer serve -data :9000 -ctrl :9001 -dir /staging/dst \
+//	    -sessions 0 -max-sessions 64
+//
+// -sessions N exits after N sessions finish; 0 serves until interrupted.
+// Stale session ledgers in -dir older than -ledger-ttl are expired when
+// the endpoint starts.
 //
 // Sender (source DTN):
 //
@@ -21,7 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"automdt/internal/core"
@@ -42,6 +53,8 @@ func main() {
 	switch os.Args[1] {
 	case "recv":
 		recv(os.Args[2:])
+	case "serve":
+		serve(os.Args[2:])
 	case "send":
 		send(os.Args[2:])
 	default:
@@ -50,7 +63,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: automdt-xfer {recv|send} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: automdt-xfer {recv|serve|send} [flags]")
 	os.Exit(2)
 }
 
@@ -75,6 +88,20 @@ func engineConfig(fs *flag.FlagSet) *transfer.Config {
 	return cfg
 }
 
+// recvStore builds the destination store shared by recv and serve.
+func recvStore(dir string, verify bool) fsim.Store {
+	if dir != "" {
+		ds, err := fsim.NewDirStore(dir)
+		if err != nil {
+			fatal(err)
+		}
+		return ds
+	}
+	ss := fsim.NewSyntheticStore()
+	ss.Verify = verify
+	return ss
+}
+
 func recv(args []string) {
 	fs := flag.NewFlagSet("recv", flag.ExitOnError)
 	data := fs.String("data", ":9000", "data listen address")
@@ -84,27 +111,58 @@ func recv(args []string) {
 	cfg := engineConfig(fs)
 	fs.Parse(args)
 
-	var store fsim.Store
-	if *dir != "" {
-		ds, err := fsim.NewDirStore(*dir)
-		if err != nil {
-			fatal(err)
-		}
-		store = ds
-	} else {
-		ss := fsim.NewSyntheticStore()
-		ss.Verify = *verify
-		store = ss
-	}
-	r := transfer.NewReceiver(*cfg, store)
+	r := transfer.NewReceiver(*cfg, recvStore(*dir, *verify))
 	if err := r.Listen(*data, *ctrl); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("receiving: data %s, control %s\n", r.DataAddr(), r.CtrlAddr())
-	if err := r.Serve(context.Background()); err != nil {
+	if err := r.ServeN(context.Background(), 1); err != nil {
 		fatal(err)
 	}
 	fmt.Println("transfer complete")
+}
+
+// serve runs the multi-session endpoint: one listener pair serving up to
+// -max-sessions concurrent senders, each with its own isolated session
+// (staging, write pool, ledger).
+func serve(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	data := fs.String("data", ":9000", "data listen address")
+	ctrl := fs.String("ctrl", ":9001", "control listen address")
+	dir := fs.String("dir", "", "destination directory (empty = synthetic sink)")
+	verify := fs.Bool("verify", false, "verify synthetic content (synthetic sink only)")
+	sessions := fs.Int("sessions", 0, "exit after N sessions finish (0 = serve until interrupted)")
+	cfg := engineConfig(fs)
+	fs.IntVar(&cfg.MaxSessions, "max-sessions", 0, "concurrent-session admission cap (0 = default 64)")
+	fs.DurationVar(&cfg.LedgerTTL, "ledger-ttl", 0, "expire session ledgers older than this on start (0 = default 30 days, negative disables)")
+	fs.Parse(args)
+
+	r := transfer.NewReceiver(*cfg, recvStore(*dir, *verify))
+	r.OnSessionDone = func(res transfer.SessionResult) {
+		if res.Err != nil {
+			fmt.Printf("session %s (proto %d) failed: %v\n", res.SessionID, res.Proto, res.Err)
+			return
+		}
+		fmt.Printf("session %s (proto %d) complete: %d bytes committed\n",
+			res.SessionID, res.Proto, res.CommittedBytes)
+	}
+	if err := r.Listen(*data, *ctrl); err != nil {
+		fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("serving: data %s, control %s (cap %d sessions)\n",
+		r.DataAddr(), r.CtrlAddr(), r.Cfg.MaxSessions)
+	var err error
+	if *sessions > 0 {
+		err = r.ServeN(ctx, *sessions)
+	} else {
+		err = r.Serve(ctx)
+	}
+	if err != nil && ctx.Err() == nil {
+		fatal(err)
+	}
+	fmt.Println("endpoint shut down")
 }
 
 func send(args []string) {

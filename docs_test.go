@@ -1,0 +1,84 @@
+package automdt
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links and images: [text](target).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// docFiles returns the repo's markdown documentation set: README.md and
+// everything under docs/.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md"}
+	entries, err := os.ReadDir("docs")
+	if err != nil {
+		t.Fatalf("docs/ directory missing: %v", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+			files = append(files, filepath.Join("docs", e.Name()))
+		}
+	}
+	return files
+}
+
+// TestDocsLinks verifies every relative link in README.md and docs/*.md
+// resolves to a file or directory in the repo — the link check CI's docs
+// job runs. External URLs, pure anchors, and GitHub-site-relative paths
+// that escape the repo (the CI badge) are skipped.
+func TestDocsLinks(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, file := range docFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#") // drop the anchor
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+			abs, err := filepath.Abs(resolved)
+			if err != nil || !strings.HasPrefix(abs, root+string(filepath.Separator)) {
+				continue // escapes the repo: a GitHub-site-relative link
+			}
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%v)", file, m[1], err)
+			}
+		}
+	}
+}
+
+// TestDocsLinkedFromReadme pins the documentation contract: the three
+// docs-subsystem pages exist and the README links to each of them.
+func TestDocsLinkedFromReadme(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range []string{"ARCHITECTURE.md", "PROTOCOL.md", "OPERATIONS.md"} {
+		path := filepath.Join("docs", doc)
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("required doc missing: %v", err)
+			continue
+		}
+		if !strings.Contains(string(readme), "docs/"+doc) {
+			t.Errorf("README.md does not link to docs/%s", doc)
+		}
+	}
+}

@@ -1,12 +1,16 @@
-// Multitenant: drive twelve simultaneous loopback transfer jobs through
-// the scheduler daemon. The daemon's HTTP API (the same one
+// Multitenant: drive twelve simultaneous transfer jobs through the
+// scheduler daemon — all of them landing on ONE shared multi-session
+// receiver endpoint. The daemon's HTTP API (the same one
 // cmd/automdt-daemon serves) accepts a burst of jobs at three priority
 // levels; the global budget arbiter splits a 24/24/24 worker budget
-// fair-share across whatever is running, rebalancing as jobs finish.
+// fair-share across whatever is running, while the endpoint's single
+// listener pair demultiplexes every tenant's data connections into
+// isolated sessions (own staging buffer, write pool, and ledger each).
 //
 // The example starts the daemon in-process on an ephemeral port, submits
 // every job over real HTTP, polls until the fleet drains, and prints the
-// final per-job table plus the daemon's /metrics text.
+// final per-job table plus the endpoint's automdt_endpoint_* gauges from
+// the daemon's /metrics text.
 package main
 
 import (
@@ -16,17 +20,28 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"automdt/internal/env"
 	"automdt/internal/marlin"
 	"automdt/internal/sched"
+	"automdt/internal/transfer"
 	"automdt/internal/workload"
 )
 
 const jobs = 12
 
 func main() {
+	// One shared destination endpoint for the whole tenant fleet: every
+	// job runs as a sender session against this receiver, verified
+	// against the deterministic synthetic content.
+	endpoint := &sched.EndpointRunner{
+		Receiver: transfer.Config{MaxSessions: jobs},
+		Verify:   true,
+	}
+	defer endpoint.Close()
+
 	s, err := sched.New(sched.Config{
 		// Host-wide worker budget per stage ⟨read, net, write⟩. With 12
 		// greedy tenants active, fair-share hands each a slice and the
@@ -34,11 +49,18 @@ func main() {
 		Budget:        [3]int{24, 24, 24},
 		MaxActive:     jobs,
 		NewController: func() env.Controller { return marlin.New() },
+		Runner:        endpoint,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer s.Close()
+
+	dataAddr, ctrlAddr, err := endpoint.Addrs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shared endpoint: data %s, control %s\n", dataAddr, ctrlAddr)
 
 	// Serve the daemon API on an ephemeral loopback port.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -103,13 +125,21 @@ func main() {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	fmt.Printf("\nall %d jobs drained in %v\n\n", jobs, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("\nall %d jobs drained through one endpoint in %v\n\n",
+		jobs, time.Since(start).Round(time.Millisecond))
 
 	fmt.Printf("%-12s %-10s %-9s %-8s %-10s %s\n",
 		"job", "state", "priority", "attempts", "seconds", "avg Mbps")
+	failed := 0
 	for _, st := range list {
 		fmt.Printf("%-12s %-10s %-9d %-8d %-10.2f %.0f\n",
 			st.Name, st.State, st.Priority, st.Attempts, st.Seconds, st.AvgMbps)
+		if st.State != "done" {
+			failed++
+		}
+	}
+	if failed > 0 {
+		log.Fatalf("%d of %d tenants did not complete", failed, jobs)
 	}
 
 	resp, err := http.Get(base + "/metrics")
@@ -119,5 +149,13 @@ func main() {
 	var buf bytes.Buffer
 	buf.ReadFrom(resp.Body)
 	resp.Body.Close()
-	fmt.Printf("\n/metrics:\n%s", buf.String())
+
+	// The endpoint gauges prove the multi-session story: every tenant was
+	// admitted by, and completed against, the same receiver.
+	fmt.Println("\nshared-endpoint gauges:")
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "automdt_endpoint_") {
+			fmt.Println(line)
+		}
+	}
 }

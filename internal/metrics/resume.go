@@ -11,6 +11,7 @@ var (
 	resumeReplayed    atomic.Int64 // chunk ranges re-sent after verification cleared them
 	resumeInvalidated atomic.Int64 // ledger ranges invalidated by CRC mismatch
 	resumeUnverified  atomic.Int64 // sessions completed with sums missing
+	resumeExpired     atomic.Int64 // stale ledgers removed by age-based GC
 )
 
 // ResumeSessionInc records one session resumed from a persisted ledger.
@@ -35,6 +36,11 @@ func ResumeInvalidatedAdd(ranges int64) { resumeInvalidated.Add(ranges) }
 // on.
 func ResumeUnverifiedInc() { resumeUnverified.Add(1) }
 
+// ResumeExpiredAdd records session ledgers removed by the receiver's
+// age-based GC: sessions that were abandoned in a long-lived destination
+// instead of being resumed or completed.
+func ResumeExpiredAdd(n int64) { resumeExpired.Add(n) }
+
 // ResumeSnapshot exports the resume counters in the shared text format.
 func ResumeSnapshot() Snapshot {
 	var snap Snapshot
@@ -43,5 +49,6 @@ func ResumeSnapshot() Snapshot {
 	snap.Add("automdt_resume_ranges_replayed_total", float64(resumeReplayed.Load()))
 	snap.Add("automdt_resume_ranges_invalidated_total", float64(resumeInvalidated.Load()))
 	snap.Add("automdt_resume_sessions_unverified_total", float64(resumeUnverified.Load()))
+	snap.Add("automdt_resume_ledgers_expired_total", float64(resumeExpired.Load()))
 	return snap
 }

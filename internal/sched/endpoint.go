@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"automdt/internal/env"
+	"automdt/internal/fsim"
+	"automdt/internal/metrics"
+	"automdt/internal/transfer"
+)
+
+// EndpointRunner executes every job attempt as a sender against ONE
+// shared multi-session receiver endpoint, instead of spawning a private
+// receiver per job the way LoopbackRunner does. This is the deployed-DTN
+// shape: a fleet of senders (the daemon's jobs) all target the same
+// destination endpoint, whose single listener pair demultiplexes their
+// sessions, and whose admission cap — not just the scheduler's budget —
+// bounds destination-side load. The endpoint starts lazily on the first
+// job and is shut down by Close.
+//
+// All sessions share Store as their destination, so job manifests must
+// not write conflicting content to the same file names (synthetic
+// content is name-derived, so same-named synthetic files agree by
+// construction; real datasets should namespace per tenant). Jobs
+// carrying a DestDir are rejected: a shared endpoint has one fixed
+// destination store.
+type EndpointRunner struct {
+	// Receiver parameterizes the shared endpoint engine — notably
+	// MaxSessions (admission cap) and LedgerTTL (stale-session GC).
+	Receiver transfer.Config
+	// Store is the shared destination. nil uses one synthetic sink for
+	// the endpoint's whole lifetime (resumes work across attempts because
+	// the sink, and therefore its in-memory ledgers, outlives any job).
+	Store fsim.Store
+	// Verify makes the default synthetic sink check written bytes against
+	// the expected deterministic content.
+	Verify bool
+
+	mu       sync.Mutex
+	recv     *transfer.Receiver
+	cancel   context.CancelFunc
+	started  bool
+	startErr error
+	done     chan struct{}
+}
+
+// start lazily listens and serves the endpoint. Caller holds mu.
+func (e *EndpointRunner) start() (*transfer.Receiver, error) {
+	if e.started {
+		return e.recv, e.startErr
+	}
+	e.started = true
+	if e.Store == nil {
+		ss := fsim.NewSyntheticStore()
+		ss.Verify = e.Verify
+		e.Store = ss
+	}
+	recv := transfer.NewReceiver(e.Receiver, e.Store)
+	if err := recv.Listen("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		e.startErr = err
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e.recv, e.cancel = recv, cancel
+	e.done = make(chan struct{})
+	go func() {
+		defer close(e.done)
+		recv.Serve(ctx)
+	}()
+	return recv, nil
+}
+
+// Addrs returns the endpoint's data and control addresses, starting it
+// if necessary — what a daemon prints so external senders can target the
+// shared endpoint directly.
+func (e *EndpointRunner) Addrs() (data, ctrl string, err error) {
+	e.mu.Lock()
+	recv, err := e.start()
+	e.mu.Unlock()
+	if err != nil {
+		return "", "", err
+	}
+	return recv.DataAddr(), recv.CtrlAddr(), nil
+}
+
+// Run implements Runner: one sender session against the shared endpoint.
+func (e *EndpointRunner) Run(ctx context.Context, spec JobSpec, ctrl env.Controller) (*transfer.Result, error) {
+	if spec.DestDir != "" {
+		return nil, errors.New("sched: endpoint runner has a fixed shared destination; DestDir is not supported")
+	}
+	e.mu.Lock()
+	recv, err := e.start()
+	e.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("sched: start shared endpoint: %w", err)
+	}
+	src := fsim.NewSyntheticStore()
+	send := &transfer.Sender{Cfg: spec.Transfer, Store: src, Manifest: spec.Manifest, Controller: ctrl}
+	return send.Run(ctx, recv.DataAddr(), recv.CtrlAddr())
+}
+
+// Snapshot exports the shared endpoint's automdt_endpoint_* gauges; the
+// scheduler merges them into /metrics.
+func (e *EndpointRunner) Snapshot() metrics.Snapshot {
+	e.mu.Lock()
+	recv := e.recv
+	e.mu.Unlock()
+	if recv == nil {
+		return metrics.Snapshot{}
+	}
+	return recv.MetricsSnapshot()
+}
+
+// Close shuts the shared endpoint down and waits for its sessions to
+// tear down. Safe to call before any job ran.
+func (e *EndpointRunner) Close() {
+	e.mu.Lock()
+	cancel, done := e.cancel, e.done
+	e.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+}

@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"automdt/internal/workload"
+)
+
+// Jobs scheduled through an EndpointRunner all land on one shared
+// multi-session receiver, complete there, and surface the endpoint's
+// gauges through the scheduler snapshot.
+func TestEndpointRunnerSharesOneReceiver(t *testing.T) {
+	er := &EndpointRunner{Verify: true}
+	defer er.Close()
+	s, err := New(Config{
+		Budget:    [3]int{8, 8, 8},
+		MaxActive: 4,
+		Runner:    er,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const jobs = 4
+	ids := make([]int64, jobs)
+	for i := range ids {
+		id, err := s.Submit(JobSpec{
+			Name:     "tenant",
+			Manifest: workload.LargeFiles(2, 512<<10),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		st, err := s.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "done" {
+			t.Fatalf("job %d: state %s (%s)", id, st.State, st.Error)
+		}
+	}
+
+	// Every session went through the one shared endpoint, and its gauges
+	// ride the scheduler's /metrics snapshot.
+	text := s.Snapshot().Text()
+	if !strings.Contains(text, `automdt_endpoint_sessions_total{event="completed"} 4`) {
+		t.Fatalf("endpoint gauges missing or wrong in scheduler snapshot:\n%s", text)
+	}
+
+	// A DestDir job cannot target a shared endpoint.
+	id, err := s.Submit(JobSpec{
+		Name:     "bad",
+		Manifest: workload.LargeFiles(1, 64<<10),
+		DestDir:  t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "failed" || !strings.Contains(st.Error, "DestDir") {
+		t.Fatalf("DestDir job against shared endpoint: state=%s err=%q", st.State, st.Error)
+	}
+}

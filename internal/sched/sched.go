@@ -1,15 +1,3 @@
-// Package sched is the transfer-job scheduler behind cmd/automdt-daemon:
-// it turns the single-transfer AutoMDT engine into a multi-tenant
-// service. Jobs (manifest + destination + priority) are queued by
-// priority and run concurrently, each driven by its own controller, while
-// a global budget arbiter splits the host's per-stage worker budget
-// ⟨read, net, write⟩ across the active jobs — fair-share weighted by
-// priority, rebalanced whenever a job starts or finishes, and enforced
-// through env.BudgetCap so no controller can exceed its slice.
-//
-// Job lifecycle: Queued → Running → Done | Failed | Cancelled, with
-// bounded retries (a failed attempt re-queues until MaxRetries is
-// exhausted).
 package sched
 
 import (
@@ -783,6 +771,11 @@ func (s *Scheduler) Snapshot() metrics.Snapshot {
 	snap.Add("automdt_sched_bytes_done_total", float64(bytesDone))
 	snap.Merge(s.arena.Snapshot())
 	snap.Merge(metrics.ResumeSnapshot())
+	// A runner that fronts shared infrastructure (the EndpointRunner's
+	// multi-session receiver) exports its own gauges.
+	if rs, ok := s.cfg.Runner.(interface{ Snapshot() metrics.Snapshot }); ok {
+		snap.Merge(rs.Snapshot())
+	}
 	for _, job := range s.order {
 		id := metrics.L("job", strconv.FormatInt(job.ID, 10))
 		switch job.state {

@@ -93,6 +93,18 @@ type Config struct {
 	// are ON by default (the paper's Globus runs disabled verification;
 	// production DTNs should not).
 	DisableChecksums bool
+	// MaxSessions is the receiver endpoint's admission cap: how many
+	// transfer sessions one Receiver serves concurrently. Sessions beyond
+	// the cap are rejected at the handshake with a clear error instead of
+	// being queued. Default 64.
+	MaxSessions int
+	// LedgerTTL is the receiver's stale-session GC horizon: ledgers whose
+	// last write is older than this are removed when the endpoint starts
+	// serving (counted in automdt_resume_ledgers_expired_total), so
+	// long-lived destination directories don't accumulate the control
+	// state of sessions that were abandoned rather than resumed. Zero
+	// means the 30-day default; negative disables expiry.
+	LedgerTTL time.Duration
 	// Shaping holds the emulated rate caps.
 	Shaping Shaping
 	// Hooks observe the transfer lifecycle (job-scoped; optional).
@@ -135,6 +147,12 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.InitialThreads <= 0 {
 		c.InitialThreads = 1
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.LedgerTTL == 0 {
+		c.LedgerTTL = 30 * 24 * time.Hour
 	}
 	return c
 }

@@ -1,0 +1,456 @@
+package transfer
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"automdt/internal/fsim"
+	"automdt/internal/metrics"
+	"automdt/internal/wire"
+	"automdt/internal/workload"
+)
+
+// gauge extracts one sample value from a snapshot by name and optional
+// single label value.
+func gauge(t *testing.T, snap metrics.Snapshot, name, labelValue string) float64 {
+	t.Helper()
+	for _, s := range snap.Samples() {
+		if s.Name != name {
+			continue
+		}
+		if labelValue == "" || (len(s.Labels) > 0 && s.Labels[0].Value == labelValue) {
+			return s.Value
+		}
+	}
+	t.Fatalf("no sample %s{%s}", name, labelValue)
+	return 0
+}
+
+// The tentpole acceptance test: one Receiver.Serve endpoint completes
+// nine concurrent sessions from distinct senders — eight protocol-2
+// peers plus one forced protocol-1 legacy peer — while one session is
+// killed mid-run and resumed against the same endpoint. Sibling sessions
+// must complete unperturbed and per-session ledgers must never
+// cross-contaminate.
+func TestEndpointServesConcurrentSessions(t *testing.T) {
+	dir := t.TempDir()
+	dst, err := fsim.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testConfig()
+	cfg.ProbeInterval = 25 * time.Millisecond // frequent ledger persistence
+	cfg.InitialThreads = 2
+	recv := NewReceiver(cfg, dst)
+	done := make(chan SessionResult, 64)
+	recv.OnSessionDone = func(r SessionResult) { done <- r }
+	if err := recv.Listen("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	srvCtx, srvCancel := context.WithCancel(context.Background())
+	defer srvCancel()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- recv.Serve(srvCtx) }()
+
+	const peers = 9
+	const killed = 0 // session killed mid-run and resumed
+	const legacy = 1 // forced protocol-1 peer
+	session := func(i int) string { return fmt.Sprintf("sess-%02d", i) }
+	manifests := make([]workload.Manifest, peers)
+	for i := range manifests {
+		n, size := 3, int64(512<<10)
+		if i == killed {
+			n, size = 4, 2<<20 // big enough for the kill to land mid-flight
+		}
+		var m workload.Manifest
+		for j := 0; j < n; j++ {
+			// Per-session name prefixes: the endpoint shares one store, so
+			// tenants namespace their files.
+			m = append(m, workload.File{Name: fmt.Sprintf("s%02d/f%d.dat", i, j), Size: size})
+		}
+		manifests[i] = m
+	}
+	killTotal := manifests[killed].TotalBytes()
+
+	// Kill the victim's sender once its persisted ledger shows real
+	// progress — a mid-dataset death of one tenant among nine.
+	killCtx, kill := context.WithCancel(context.Background())
+	defer kill()
+	go func() {
+		deadline := time.Now().Add(20 * time.Second)
+		for time.Now().Before(deadline) {
+			if data, err := dst.LoadLedger(session(killed)); err == nil {
+				if l, err := DecodeLedger(data); err == nil && l.CommittedBytes() > killTotal/4 {
+					kill()
+					return
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		kill()
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, peers)
+	for i := 0; i < peers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			scfg := cfg
+			scfg.SessionID = session(i)
+			ctx := context.Background()
+			if i == killed {
+				scfg.Shaping.LinkMbps = 200 // ~25 MB/s so the kill lands mid-flight
+				ctx = killCtx
+			}
+			send := &Sender{Cfg: scfg, Store: fsim.NewSyntheticStore(), Manifest: manifests[i]}
+			if i == legacy {
+				send.forceProto = 1
+			}
+			runCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+			defer cancel()
+			_, errs[i] = send.Run(runCtx, recv.DataAddr(), recv.CtrlAddr())
+		}(i)
+	}
+	wg.Wait()
+
+	if errs[killed] == nil {
+		t.Fatal("killed sender completed; the kill did not land mid-flight")
+	}
+	for i := 0; i < peers; i++ {
+		if i != killed && errs[i] != nil {
+			t.Fatalf("sibling session %d failed alongside the killed one: %v", i, errs[i])
+		}
+	}
+
+	// Collect every session's receiver-side result (the victim's arrives
+	// when its teardown finishes persisting the ledger).
+	results := make(map[string]SessionResult, peers)
+	timeout := time.After(30 * time.Second)
+	for len(results) < peers {
+		select {
+		case r := <-done:
+			results[r.SessionID] = r
+		case <-timeout:
+			t.Fatalf("only %d of %d session results arrived", len(results), peers)
+		}
+	}
+	for i := 0; i < peers; i++ {
+		r, ok := results[session(i)]
+		if !ok {
+			t.Fatalf("no receiver-side result for %s", session(i))
+		}
+		if i == killed {
+			if r.Err == nil {
+				t.Fatal("killed session reported success at the receiver")
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("receiver failed sibling %s: %v", r.SessionID, r.Err)
+		}
+		want := 2
+		if i == legacy {
+			want = 1
+		}
+		if r.Proto != want {
+			t.Fatalf("session %s negotiated protocol %d, want %d", r.SessionID, r.Proto, want)
+		}
+	}
+
+	// Ledger isolation: the victim's persisted ledger describes exactly
+	// its own namespaced files — nothing leaked in from the eight
+	// sessions that shared the endpoint.
+	data, err := dst.LoadLedger(session(killed))
+	if err != nil {
+		t.Fatalf("killed session left no ledger to resume from: %v", err)
+	}
+	l, err := DecodeLedger(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.MatchesManifest(manifests[killed]); err != nil {
+		t.Fatalf("killed session's ledger cross-contaminated: %v", err)
+	}
+	for _, f := range l.Files {
+		if !strings.HasPrefix(f.Name, fmt.Sprintf("s%02d/", killed)) {
+			t.Fatalf("foreign file %q in session ledger", f.Name)
+		}
+	}
+	committed := l.CommittedBytes()
+	if committed <= 0 || committed >= killTotal {
+		t.Fatalf("victim committed %d of %d; kill did not land mid-flight", committed, killTotal)
+	}
+	// Completed siblings must have dropped their ledgers.
+	for i := 0; i < peers; i++ {
+		if i == killed {
+			continue
+		}
+		if _, err := dst.LoadLedger(session(i)); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("completed session %s still has a ledger (err=%v)", session(i), err)
+		}
+	}
+
+	// Resume the victim against the SAME still-running endpoint.
+	rcfg := cfg
+	rcfg.SessionID = session(killed)
+	resumeCtx, cancelResume := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancelResume()
+	send := &Sender{Cfg: rcfg, Store: fsim.NewSyntheticStore(), Manifest: manifests[killed]}
+	res, err := send.Run(resumeCtx, recv.DataAddr(), recv.CtrlAddr())
+	if err != nil {
+		t.Fatalf("resume against live endpoint failed: %v", err)
+	}
+	if !res.Resumed || res.SkippedBytes <= 0 {
+		t.Fatalf("second run did not resume the ledger: %+v", res)
+	}
+	if _, err := dst.LoadLedger(session(killed)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("resumed session's ledger not removed on completion (err=%v)", err)
+	}
+
+	// Every destination byte of every tenant is correct.
+	for i, m := range manifests {
+		for _, f := range m {
+			got, err := os.ReadFile(filepath.Join(dir, filepath.FromSlash(f.Name)))
+			if err != nil {
+				t.Fatalf("session %d: %v", i, err)
+			}
+			want := make([]byte, f.Size)
+			fsim.FillContent(f.Name, 0, want)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("session %d: %s corrupt", i, f.Name)
+			}
+		}
+	}
+
+	snap := recv.MetricsSnapshot()
+	if got := gauge(t, snap, "automdt_endpoint_sessions_total", "admitted"); got != peers+1 {
+		t.Fatalf("admitted %v sessions, want %d", got, peers+1)
+	}
+	if got := gauge(t, snap, "automdt_endpoint_sessions_total", "completed"); got != peers {
+		t.Fatalf("completed %v sessions, want %d", got, peers)
+	}
+	if got := gauge(t, snap, "automdt_endpoint_sessions_total", "failed"); got != 1 {
+		t.Fatalf("failed %v sessions, want 1", got)
+	}
+
+	srvCancel()
+	<-serveErr
+}
+
+// helloConn opens a raw control connection and sends a Hello, returning
+// the connection for reply inspection.
+func helloConn(t *testing.T, addr string, h wire.Hello) *wire.Conn {
+	t.Helper()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := wire.NewConn(raw)
+	if err := c.Send(wire.Message{Hello: &h}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// recvReply reads control messages until a Welcome or an errored Status
+// arrives.
+func recvReply(t *testing.T, c *wire.Conn) wire.Message {
+	t.Helper()
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			t.Fatalf("control channel died before a reply: %v", err)
+		}
+		if m.Welcome != nil || (m.Status != nil && m.Status.Error != "") {
+			return m
+		}
+	}
+}
+
+// Admission cap: sessions beyond Config.MaxSessions are rejected at the
+// handshake with a clear error, not queued or dropped.
+func TestEndpointAdmissionCap(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxSessions = 2
+	recv := NewReceiver(cfg, fsim.NewSyntheticStore())
+	if err := recv.Listen("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	go recv.Serve(ctx)
+
+	hello := wire.Hello{
+		Files:        []wire.FileInfo{{Name: "pin.dat", Size: 1 << 20}},
+		ChunkBytes:   64 << 10,
+		ProtoVersion: wire.ProtoVersion,
+	}
+	// Two admitted sessions pin the cap (no data flows, so they stay
+	// active); the third Hello must bounce.
+	for i := 0; i < 2; i++ {
+		c := helloConn(t, recv.CtrlAddr(), hello)
+		defer c.Close()
+		if m := recvReply(t, c); m.Welcome == nil {
+			t.Fatalf("session %d rejected below the cap: %+v", i, m)
+		}
+	}
+	c := helloConn(t, recv.CtrlAddr(), hello)
+	defer c.Close()
+	m := recvReply(t, c)
+	if m.Status == nil || !strings.Contains(m.Status.Error, "capacity") {
+		t.Fatalf("third session not rejected with a capacity error: %+v", m)
+	}
+	if got := gauge(t, recv.MetricsSnapshot(), "automdt_endpoint_sessions_total", "rejected"); got != 1 {
+		t.Fatalf("rejected gauge %v, want 1", got)
+	}
+}
+
+// Pre-v2 peers send no data preamble, so their connections are
+// indistinguishable: the endpoint serves exactly one at a time and
+// rejects a second with a clear error.
+func TestEndpointSingleLegacySlot(t *testing.T) {
+	recv := NewReceiver(testConfig(), fsim.NewSyntheticStore())
+	if err := recv.Listen("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	go recv.Serve(ctx)
+
+	hello := wire.Hello{
+		Files:        []wire.FileInfo{{Name: "pin.dat", Size: 1 << 20}},
+		ChunkBytes:   64 << 10,
+		ProtoVersion: 1,
+	}
+	first := helloConn(t, recv.CtrlAddr(), hello)
+	defer first.Close()
+	if m := recvReply(t, first); m.Welcome == nil {
+		t.Fatalf("first legacy session rejected: %+v", m)
+	}
+	second := helloConn(t, recv.CtrlAddr(), hello)
+	defer second.Close()
+	if m := recvReply(t, second); m.Status == nil || !strings.Contains(m.Status.Error, "pre-v2") {
+		t.Fatalf("second legacy session not rejected: %+v", m)
+	}
+}
+
+// A retried attempt races its predecessor's teardown: the sender is
+// gone but the session still holds the ledger key until the receiver
+// notices the dead control channel. The retry's Hello must be admitted
+// once the teardown finishes, not bounced with "already active".
+func TestEndpointRetryReclaimsSessionKey(t *testing.T) {
+	cfg := testConfig()
+	// A long probe interval proves teardown is driven by control-channel
+	// death detection, not the status tick.
+	cfg.ProbeInterval = 2 * time.Second
+	recv := NewReceiver(cfg, fsim.NewSyntheticStore())
+	if err := recv.Listen("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	go recv.Serve(ctx)
+
+	hello := wire.Hello{
+		Files:        []wire.FileInfo{{Name: "r.dat", Size: 1 << 20}},
+		ChunkBytes:   64 << 10,
+		ProtoVersion: wire.ProtoVersion,
+		SessionID:    "retry-me",
+	}
+	first := helloConn(t, recv.CtrlAddr(), hello)
+	if m := recvReply(t, first); m.Welcome == nil {
+		t.Fatalf("first attempt rejected: %+v", m)
+	}
+	first.Close() // the attempt dies; its session must release the key
+
+	second := helloConn(t, recv.CtrlAddr(), hello)
+	defer second.Close()
+	if m := recvReply(t, second); m.Welcome == nil {
+		t.Fatalf("retry bounced instead of reclaiming the session: %+v", m)
+	}
+}
+
+// A data connection carrying an unknown routing token must be closed
+// without admitting a single frame.
+func TestEndpointRejectsUnknownToken(t *testing.T) {
+	recv := NewReceiver(testConfig(), fsim.NewSyntheticStore())
+	if err := recv.Listen("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	go recv.Serve(ctx)
+
+	conn, err := net.Dial("tcp", recv.DataAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteDataPreamble(conn, wire.NewDataToken()); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("endpoint kept a connection with an unknown token open")
+	}
+}
+
+// Stale session ledgers — in both the per-session-directory and the
+// legacy flat layout — are expired when the endpoint starts serving;
+// fresh ledgers survive.
+func TestEndpointExpiresStaleLedgers(t *testing.T) {
+	dir := t.TempDir()
+	dst, err := fsim.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-60 * 24 * time.Hour)
+	if err := dst.SaveLedger("stale-dir", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(filepath.Join(dir, ".automdt", "stale-dir", "ledger.json"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	flat := filepath.Join(dir, ".automdt", "stale-flat.ledger")
+	if err := os.WriteFile(flat, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(flat, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.SaveLedger("fresh", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	recv := NewReceiver(testConfig(), dst) // default 30-day TTL
+	if err := recv.Listen("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // GC runs before the accept loop; the endpoint exits at once
+	recv.Serve(ctx)
+
+	if _, err := dst.LoadLedger("stale-dir"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale per-session ledger survived GC (err=%v)", err)
+	}
+	if _, err := dst.LoadLedger("stale-flat"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale flat-layout ledger survived GC (err=%v)", err)
+	}
+	if _, err := dst.LoadLedger("fresh"); err != nil {
+		t.Fatalf("fresh ledger expired: %v", err)
+	}
+	if got := gauge(t, recv.MetricsSnapshot(), "automdt_endpoint_ledgers_expired_total", ""); got != 2 {
+		t.Fatalf("expired gauge %v, want 2", got)
+	}
+}

@@ -101,7 +101,7 @@ func TestReceiverSurvivesGarbageConnection(t *testing.T) {
 	recvErr := make(chan error, 1)
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
 	defer cancel()
-	go func() { recvErr <- recv.Serve(ctx) }()
+	go func() { recvErr <- recv.ServeN(ctx, 1) }()
 
 	src := fsim.NewSyntheticStore()
 	m := workload.LargeFiles(4, 512<<10)
@@ -139,7 +139,7 @@ func TestReceiverRejectsUnknownFileID(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
 	defer cancel()
 	recvErr := make(chan error, 1)
-	go func() { recvErr <- recv.Serve(ctx) }()
+	go func() { recvErr <- recv.ServeN(ctx, 1) }()
 
 	ctrlRaw, err := net.Dial("tcp", recv.CtrlAddr())
 	if err != nil {

@@ -21,7 +21,7 @@ func Loopback(ctx context.Context, cfg Config, m workload.Manifest,
 		return nil, err
 	}
 	recvErr := make(chan error, 1)
-	go func() { recvErr <- recv.Serve(ctx) }()
+	go func() { recvErr <- recv.ServeN(ctx, 1) }()
 
 	send := &Sender{Cfg: cfg, Store: src, Manifest: m, Controller: ctrl}
 	res, err := send.Run(ctx, recv.DataAddr(), recv.CtrlAddr())

@@ -1,7 +1,9 @@
 package transfer
 
 import (
+	"bytes"
 	"context"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -16,29 +18,200 @@ import (
 	"automdt/internal/workload"
 )
 
-// Receiver is the destination-side engine: it accepts parallel data
-// connections, stages incoming chunks in a bounded buffer, and flushes
-// them to the destination store with a resizable write pool whose size is
-// commanded by the sender over the control channel. Each session keeps a
-// chunk ledger of committed ranges; when the destination store can
-// persist ledgers (fsim.LedgerStore) and the sender names a session, the
-// ledger survives process restarts and the next attempt resumes instead
-// of starting over.
+// Receiver is the destination-side endpoint: one control listener and one
+// data listener serving many concurrent transfer sessions. Each control
+// connection negotiates one session; data connections are demultiplexed
+// to their session by the token carried in the protocol ≥ 2 preamble
+// (pre-v2 peers, which send no preamble, route to the endpoint's single
+// legacy session slot). Every session owns its own staging buffer, write
+// pool, and chunk ledger, so one session's failure or teardown cannot
+// disturb its siblings. Admission is capped by Config.MaxSessions, and
+// stale session ledgers older than Config.LedgerTTL are expired when the
+// endpoint starts serving.
 type Receiver struct {
 	Cfg   Config
 	Store fsim.Store
+	// OnSessionDone, when set before Serve, observes every session as it
+	// ends. It is called from the session's goroutine and must not block.
+	OnSessionDone func(SessionResult)
 
 	dataLn net.Listener
 	ctrlLn net.Listener
 
-	mu   sync.Mutex
-	err  error
-	done chan struct{}
+	mu      sync.Mutex
+	err     error
+	closed  bool
+	byToken map[string]*rsession
+	byID    map[string]*rsession
+	legacy  *rsession // the active pre-v2 session, owning un-preambled data conns
+	pending map[net.Conn]struct{}
+
+	active    int
+	admitted  int64
+	rejected  int64
+	completed int64
+	failed    int64
+	expired   int64
+
+	gcOnce sync.Once
+	// fatal is closed when an acceptor dies outside shutdown, so serve
+	// can stop blocking and surface the endpoint-fatal error.
+	fatalOnce sync.Once
+	fatal     chan struct{}
 }
 
-// NewReceiver creates a receiver writing into store.
+// errSessionBusy marks an admission conflict that resolves itself once
+// the previous holder's teardown finishes; handleControl retries these
+// briefly instead of rejecting outright.
+var errSessionBusy = errors.New("session busy")
+
+// SessionResult summarizes one session served by the endpoint.
+type SessionResult struct {
+	SessionID string
+	// Proto is the negotiated protocol generation.
+	Proto int
+	// Resumed reports whether the session picked up a persisted ledger.
+	Resumed bool
+	// CommittedBytes is the ledger-committed volume when the session
+	// ended (the full dataset for a completed session).
+	CommittedBytes int64
+	// Err is the session's outcome: nil for a completed transfer.
+	Err error
+}
+
+// rsession is one live transfer session at the endpoint. The demux
+// routes data connections into it; the session's run loop owns the rest
+// of its state as locals.
+type rsession struct {
+	id      string
+	token   string // data-preamble routing key; empty below protocol 2
+	proto   int
+	staging *Staging
+	arena   *Arena
+	ledger  atomic.Pointer[Ledger] // set once resume state is known; for gauges
+	// resumed is written by runSession and read by handleControl after
+	// runSession returns (same goroutine), so it needs no lock.
+	resumed bool
+
+	mu          sync.Mutex
+	err         error
+	cancel      context.CancelFunc // set by runSession; may lag early data conns
+	conns       []net.Conn
+	connsClosed bool
+	readerWG    sync.WaitGroup
+}
+
+// setCancel installs the session's cancel function once the run loop has
+// a context. A legacy peer's data connections can be routed before that,
+// so abort must tolerate a not-yet-installed cancel.
+func (s *rsession) setCancel(fn context.CancelFunc) {
+	s.mu.Lock()
+	s.cancel = fn
+	s.mu.Unlock()
+}
+
+// abort cancels the session's run loop, if it has started. An abort that
+// races the start is not lost: the failure is already recorded via fail,
+// and the run loop surfaces it on its first status tick.
+func (s *rsession) abort() {
+	s.mu.Lock()
+	fn := s.cancel
+	s.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+func (s *rsession) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil && err != nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the session's first fatal error, if any.
+func (s *rsession) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// addConn registers a routed data connection and spawns its reader: the
+// reader leases frame payloads from the session's arena and transfers
+// the lease to the write pool through the session staging buffer. rd is
+// the demuxed stream (for legacy peers it replays the sniffed bytes
+// ahead of the socket).
+func (s *rsession) addConn(conn net.Conn, rd io.Reader) {
+	s.mu.Lock()
+	if s.connsClosed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns = append(s.conns, conn)
+	s.readerWG.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.readerWG.Done()
+		defer conn.Close()
+		var pending *Buf
+		alloc := func(n int) []byte {
+			pending = s.arena.Get(n)
+			return pending.Bytes()
+		}
+		var fr wire.FrameReader
+		for {
+			pending = nil
+			f, err := fr.Read(rd, alloc)
+			if err != nil {
+				if pending != nil {
+					pending.Release()
+				}
+				if !errors.Is(err, io.EOF) {
+					s.fail(err)
+					s.abort()
+				}
+				return
+			}
+			// The ledger sum is deliberately NOT the wire CRC: the write
+			// stage re-hashes the payload at commit, so corruption between
+			// frame verification and the disk write (staging memory, a
+			// premature buffer reuse) still trips the sender-vs-receiver
+			// FileSum compare.
+			if !s.staging.Put(Chunk{FileID: f.FileID, Offset: f.Offset, Data: f.Data, Buf: pending}) {
+				if pending != nil {
+					pending.Release()
+				}
+				return
+			}
+		}
+	}()
+}
+
+// closeConns closes every registered data connection and refuses new
+// registrations; teardown then waits on readerWG.
+func (s *rsession) closeConns() {
+	s.mu.Lock()
+	s.connsClosed = true
+	conns := s.conns
+	s.conns = nil
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// NewReceiver creates a receiver endpoint writing into store.
 func NewReceiver(cfg Config, store fsim.Store) *Receiver {
-	return &Receiver{Cfg: cfg.WithDefaults(), Store: store, done: make(chan struct{})}
+	return &Receiver{
+		Cfg:     cfg.WithDefaults(),
+		Store:   store,
+		byToken: make(map[string]*rsession),
+		byID:    make(map[string]*rsession),
+		pending: make(map[net.Conn]struct{}),
+		fatal:   make(chan struct{}),
+	}
 }
 
 // Listen binds the data and control listeners on the given host (use
@@ -71,11 +244,421 @@ func (r *Receiver) fail(err error) {
 	r.mu.Unlock()
 }
 
-// Err returns the first fatal error, if any.
+// acceptFailed records an endpoint-fatal accept error and wakes serve so
+// the endpoint shuts down instead of blocking as a silently dead
+// listener. Accept errors after shutdown (the listener was closed
+// deliberately) are the normal exit path and not recorded.
+func (r *Receiver) acceptFailed(which string, err error) {
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if !closed {
+		r.fail(fmt.Errorf("transfer: accept %s: %w", which, err))
+		r.fatalOnce.Do(func() { close(r.fatal) })
+	}
+}
+
+// Err returns the first endpoint-fatal error, if any. Per-session
+// failures are reported through session results, not here.
 func (r *Receiver) Err() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.err
+}
+
+// Serve runs the endpoint until ctx is cancelled: it accepts control
+// connections, negotiates one session per connection, and demultiplexes
+// data connections across the live sessions. It must be called after
+// Listen. On cancellation every session is torn down (persisting its
+// ledger) before Serve returns ctx.Err().
+func (r *Receiver) Serve(ctx context.Context) error { return r.serve(ctx, 0) }
+
+// ServeN serves like Serve but returns once n sessions have finished
+// (completed or failed — handshake rejections don't count), reporting
+// the first session error if any. ServeN(ctx, 1) is the single-session
+// receiver contract that Loopback and the CLI's one-shot recv mode use.
+func (r *Receiver) ServeN(ctx context.Context, n int) error { return r.serve(ctx, n) }
+
+func (r *Receiver) serve(ctx context.Context, maxDone int) error {
+	r.gcOnce.Do(r.expireStaleLedgers)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	results := make(chan error)
+
+	// Data acceptor: every connection gets a demux goroutine that sniffs
+	// the preamble (or its absence) and routes the stream to its session.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := r.dataLn.Accept()
+			if err != nil {
+				r.acceptFailed("data", err)
+				return
+			}
+			if !r.trackPending(conn) {
+				conn.Close()
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r.demux(ctx, conn)
+			}()
+		}
+	}()
+
+	// Control acceptor: one session negotiation per connection.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := r.ctrlLn.Accept()
+			if err != nil {
+				r.acceptFailed("control", err)
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r.handleControl(ctx, conn, results)
+			}()
+		}
+	}()
+
+	var firstErr error
+	done := 0
+	for {
+		select {
+		case <-ctx.Done():
+			r.shutdown()
+			cancel()
+			wg.Wait()
+			return ctx.Err()
+		case <-r.fatal:
+			r.shutdown()
+			cancel()
+			wg.Wait()
+			return r.Err()
+		case err := <-results:
+			done++
+			if firstErr == nil {
+				firstErr = err
+			}
+			if maxDone > 0 && done >= maxDone {
+				r.shutdown()
+				cancel()
+				wg.Wait()
+				return firstErr
+			}
+		}
+	}
+}
+
+// shutdown stops the intake: listeners closed, un-routed data
+// connections closed, new admissions refused. Idempotent.
+func (r *Receiver) shutdown() {
+	r.mu.Lock()
+	r.closed = true
+	pending := make([]net.Conn, 0, len(r.pending))
+	for c := range r.pending {
+		pending = append(pending, c)
+	}
+	r.mu.Unlock()
+	r.dataLn.Close()
+	r.ctrlLn.Close()
+	for _, c := range pending {
+		c.Close()
+	}
+}
+
+// trackPending registers a data connection awaiting demux so shutdown
+// can force its preamble read off the socket. Reports false when the
+// endpoint is already closed.
+func (r *Receiver) trackPending(conn net.Conn) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false
+	}
+	r.pending[conn] = struct{}{}
+	return true
+}
+
+func (r *Receiver) untrackPending(conn net.Conn) {
+	r.mu.Lock()
+	delete(r.pending, conn)
+	r.mu.Unlock()
+}
+
+// demux routes one data connection: a protocol ≥ 2 preamble names the
+// session by token; anything else is a pre-v2 frame stream owned by the
+// endpoint's single legacy session. The sniffed bytes of a legacy stream
+// are replayed ahead of the socket so no frame data is lost.
+func (r *Receiver) demux(ctx context.Context, conn net.Conn) {
+	defer r.untrackPending(conn)
+	// Snapshot the legacy slot up front: an un-preambled connection that
+	// arrived while a legacy session was live belongs to THAT session. If
+	// it is gone by the time the first bytes land, the stream is stale
+	// and must be dropped — never routed into a successor session.
+	r.mu.Lock()
+	legacyAt := r.legacy
+	r.mu.Unlock()
+	var first [4]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		conn.Close()
+		return
+	}
+	if first == wire.PreambleMagic {
+		var tok [wire.DataTokenBytes]byte
+		if _, err := io.ReadFull(conn, tok[:]); err != nil {
+			conn.Close()
+			return
+		}
+		r.mu.Lock()
+		sess := r.byToken[hex.EncodeToString(tok[:])]
+		r.mu.Unlock()
+		if sess == nil {
+			conn.Close() // unknown or stale token: never admit the frames
+			return
+		}
+		sess.addConn(conn, conn)
+		return
+	}
+	// No preamble: a legacy (v0/v1) peer's frame stream, with the sniffed
+	// bytes replayed ahead of the socket.
+	legacyRd := io.MultiReader(bytes.NewReader(first[:]), conn)
+	if legacyAt != nil {
+		r.mu.Lock()
+		sess := r.legacy
+		r.mu.Unlock()
+		if sess != legacyAt {
+			conn.Close() // the owning session ended; stale stream
+			return
+		}
+		sess.addConn(conn, legacyRd)
+		return
+	}
+	// No legacy session existed when the connection arrived. Only a v0
+	// peer can produce this: it dials its data connections right after
+	// sending Hello, so its session's registration may still be in
+	// flight on the control channel (a v1 peer dials only after its
+	// Welcome, by which time its session is registered and the snapshot
+	// above is non-nil). Wait briefly for the registration rather than
+	// resetting the peer's data plane — but route only into a proto-0
+	// session; handing the stream to anything newer could only be
+	// mis-attribution.
+	for wait := 0; ; wait++ {
+		r.mu.Lock()
+		sess, closed := r.legacy, r.closed
+		r.mu.Unlock()
+		if sess != nil {
+			if sess.proto == 0 {
+				sess.addConn(conn, legacyRd)
+			} else {
+				conn.Close()
+			}
+			return
+		}
+		if closed || ctx.Err() != nil || wait >= 1000 {
+			conn.Close()
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// handleControl negotiates and runs one session on a freshly accepted
+// control connection.
+func (r *Receiver) handleControl(ctx context.Context, raw net.Conn, results chan<- error) {
+	ctrl := wire.NewConn(raw)
+	// A cancelled endpoint context must unblock the Hello read and every
+	// later control operation. The watch is on the endpoint context, not
+	// the session's own cancel: an internal session failure must keep the
+	// channel alive long enough to report the root cause to the sender.
+	stopWatch := context.AfterFunc(ctx, func() { ctrl.Close() })
+	defer stopWatch()
+
+	m, err := ctrl.Recv()
+	if err != nil || m.Hello == nil {
+		ctrl.Close() // not a session: garbage or a vanished peer
+		return
+	}
+	sess, reject := r.admit(m.Hello)
+	// A retried attempt can race the previous attempt's teardown: the
+	// sender is gone, but its session still holds the ledger key for up
+	// to a control-channel-death detection plus a persist. Wait out that
+	// window instead of burning the retry.
+	for deadline := time.Now().Add(5 * time.Second); reject != nil &&
+		errors.Is(reject, errSessionBusy) &&
+		time.Now().Before(deadline) && ctx.Err() == nil; {
+		time.Sleep(25 * time.Millisecond)
+		sess, reject = r.admit(m.Hello)
+	}
+	if reject != nil {
+		r.mu.Lock()
+		r.rejected++
+		r.mu.Unlock()
+		ctrl.Send(wire.Message{Status: &wire.Status{Error: reject.Error()}})
+		ctrl.Close()
+		return
+	}
+	err = r.runSession(ctx, sess, ctrl, m.Hello)
+	res := SessionResult{
+		SessionID: sess.id,
+		Proto:     sess.proto,
+		Resumed:   sess.resumed,
+		Err:       err,
+	}
+	if l := sess.ledger.Load(); l != nil {
+		res.CommittedBytes = l.CommittedBytes()
+	}
+	r.release(sess, err)
+	if h := r.OnSessionDone; h != nil {
+		h(res)
+	}
+	select {
+	case results <- err:
+	case <-ctx.Done():
+	}
+}
+
+// admit applies the endpoint's admission rules to a Hello and registers
+// the resulting session: the MaxSessions cap, one pre-v2 session at a
+// time (their data connections are indistinguishable), and no two live
+// sessions sharing a ledger key. It also creates the session's staging
+// buffer up front, because a legacy peer's data connections can arrive
+// before the session's run loop starts.
+func (r *Receiver) admit(h *wire.Hello) (*rsession, error) {
+	proto := h.ProtoVersion
+	if proto > wire.ProtoVersion {
+		proto = wire.ProtoVersion
+	}
+	session := h.SessionID
+	if session == "" {
+		session = NewSessionID()
+	}
+	bufCap := r.Cfg.ReceiverBufBytes
+	if h.ReceiverBufBytes > 0 {
+		bufCap = h.ReceiverBufBytes
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, errors.New("transfer: endpoint shutting down")
+	}
+	if r.active >= r.Cfg.MaxSessions {
+		return nil, fmt.Errorf("transfer: endpoint at session capacity (%d)", r.Cfg.MaxSessions)
+	}
+	if _, ok := r.byID[session]; ok {
+		// Checked before the legacy slot so a pre-v2 retry of its own
+		// session reports busy (retryable) rather than slot-taken.
+		return nil, fmt.Errorf("transfer: session %q is already active on this endpoint: %w", session, errSessionBusy)
+	}
+	if proto < 2 && r.legacy != nil {
+		return nil, fmt.Errorf("transfer: endpoint already serves a pre-v2 session (%s); one legacy peer at a time", r.legacy.id)
+	}
+	sess := &rsession{
+		id:      session,
+		proto:   proto,
+		staging: NewStaging(bufCap),
+		arena:   r.Cfg.arena(),
+	}
+	if proto >= 2 {
+		sess.token = wire.NewDataToken()
+		r.byToken[sess.token] = sess
+	} else {
+		r.legacy = sess
+	}
+	r.byID[session] = sess
+	r.active++
+	r.admitted++
+	return sess, nil
+}
+
+// release unregisters a finished session and records its outcome.
+func (r *Receiver) release(sess *rsession, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.byID, sess.id)
+	if sess.token != "" {
+		delete(r.byToken, sess.token)
+	}
+	if r.legacy == sess {
+		r.legacy = nil
+	}
+	r.active--
+	if err == nil {
+		r.completed++
+	} else {
+		r.failed++
+	}
+}
+
+// expireStaleLedgers removes session ledgers whose last write is older
+// than Config.LedgerTTL — the abandoned sessions of a long-lived
+// destination, which would otherwise accumulate forever. Runs once, when
+// the endpoint starts serving.
+func (r *Receiver) expireStaleLedgers() {
+	ttl := r.Cfg.LedgerTTL
+	if ttl <= 0 {
+		return
+	}
+	lister, ok := r.Store.(fsim.LedgerLister)
+	ls, ok2 := r.Store.(fsim.LedgerStore)
+	if !ok || !ok2 {
+		return
+	}
+	infos, err := lister.ListLedgers()
+	if err != nil {
+		return
+	}
+	var n int64
+	for _, info := range infos {
+		if info.Age > ttl && ls.RemoveLedger(info.Session) == nil {
+			n++
+		}
+	}
+	if n > 0 {
+		metrics.ResumeExpiredAdd(n)
+		r.mu.Lock()
+		r.expired += n
+		r.mu.Unlock()
+	}
+}
+
+// MetricsSnapshot exports the endpoint's gauges in the shared text
+// format: admission counters, the active-session gauge, and per-session
+// committed bytes and staging occupancy.
+func (r *Receiver) MetricsSnapshot() metrics.Snapshot {
+	r.mu.Lock()
+	sessions := make([]*rsession, 0, len(r.byID))
+	for _, s := range r.byID {
+		sessions = append(sessions, s)
+	}
+	active, admitted, rejected := r.active, r.admitted, r.rejected
+	completed, failed, expired := r.completed, r.failed, r.expired
+	r.mu.Unlock()
+
+	var snap metrics.Snapshot
+	snap.Add("automdt_endpoint_sessions_active", float64(active))
+	snap.Add("automdt_endpoint_sessions_total", float64(admitted), metrics.L("event", "admitted"))
+	snap.Add("automdt_endpoint_sessions_total", float64(rejected), metrics.L("event", "rejected"))
+	snap.Add("automdt_endpoint_sessions_total", float64(completed), metrics.L("event", "completed"))
+	snap.Add("automdt_endpoint_sessions_total", float64(failed), metrics.L("event", "failed"))
+	snap.Add("automdt_endpoint_ledgers_expired_total", float64(expired))
+	for _, s := range sessions {
+		id := metrics.L("session", s.id)
+		snap.Add("automdt_endpoint_session_proto", float64(s.proto), id)
+		snap.Add("automdt_endpoint_session_staging_used_bytes", float64(s.staging.Used()), id)
+		if l := s.ledger.Load(); l != nil {
+			snap.Add("automdt_endpoint_session_committed_bytes", float64(l.CommittedBytes()), id)
+		}
+	}
+	return snap
 }
 
 // sumChecker tracks the sender-announced end-to-end file CRCs and which
@@ -113,53 +696,36 @@ func (c *sumChecker) pending() []uint32 {
 	return ids
 }
 
-// Serve handles exactly one transfer session and returns when the
-// transfer completes or fails. It must be called after Listen.
-func (r *Receiver) Serve(ctx context.Context) error {
-	defer close(r.done)
-	defer r.dataLn.Close()
-	defer r.ctrlLn.Close()
-
-	parent := ctx
-	ctx, cancel := context.WithCancel(ctx)
+// runSession executes one admitted session to completion or failure: the
+// Welcome handshake, the session-scoped write pool draining the staging
+// buffer the demuxed readers fill, ledger persistence, and end-to-end
+// file verification. It returns when the transfer completes, the session
+// fails, or the endpoint context is cancelled; its teardown releases
+// every arena lease the session took and persists the ledger's final
+// state without touching any sibling session.
+func (r *Receiver) runSession(parent context.Context, sess *rsession, ctrl *wire.Conn, h *wire.Hello) error {
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
-	// A cancelled caller context must unblock the accepts and control
-	// reads below, not just the steady-state loops. The watch is on the
-	// parent only: an internal failure (cancel()) must keep the control
-	// channel alive long enough to report the root cause to the sender.
-	stopLnWatch := context.AfterFunc(parent, func() {
-		r.dataLn.Close()
-		r.ctrlLn.Close()
-	})
-	defer stopLnWatch()
-
-	// Control connection first: it carries the session parameters.
-	ctrlRaw, err := r.ctrlLn.Accept()
-	if err != nil {
-		if ctx.Err() != nil {
-			return ctx.Err()
-		}
-		return fmt.Errorf("transfer: accept control: %w", err)
+	sess.setCancel(cancel)
+	if sess.Err() != nil {
+		cancel() // an early data connection already failed the session
 	}
-	ctrl := wire.NewConn(ctrlRaw)
 	defer ctrl.Close()
-	stopCtrlWatch := context.AfterFunc(parent, func() { ctrl.Close() })
-	defer stopCtrlWatch()
+	// Intake teardown, registered before any early return (a failed
+	// Welcome send, say) can fire: data connections may already be routed
+	// into this session — a legacy peer's arrive with its Hello still in
+	// flight — and their readers and arena leases must not outlive it.
+	// The main teardown defer below repeats these steps before the write
+	// pool shuts down; every one of them is idempotent, so running both
+	// is harmless.
+	defer func() {
+		sess.closeConns()
+		sess.staging.Close()
+		sess.readerWG.Wait()
+		sess.staging.ReleaseRemaining()
+	}()
 
-	hello, err := ctrl.Recv()
-	if err != nil || hello.Hello == nil {
-		return fmt.Errorf("transfer: bad hello (err=%v)", err)
-	}
-	h := hello.Hello
-
-	// Versioned negotiation: speak the lower of the two generations. A
-	// v0 sender ignores the Welcome and the ledger machinery degrades to
-	// the old one-shot behaviour.
-	proto := h.ProtoVersion
-	if proto > wire.ProtoVersion {
-		proto = wire.ProtoVersion
-	}
-
+	proto := sess.proto
 	manifest := make(workload.Manifest, len(h.Files))
 	var total int64
 	for i, f := range h.Files {
@@ -175,10 +741,7 @@ func (r *Receiver) Serve(ctx context.Context) error {
 	// and the sender named a session, re-verifying every committed range
 	// against the destination (a missing file or corrupt region loses
 	// just its ledger entry) before advertising it.
-	session := h.SessionID
-	if session == "" {
-		session = NewSessionID()
-	}
+	session := sess.id
 	ledger := NewLedger(session, chunkBytes, manifest, h.Checksums)
 	ls, canPersist := r.Store.(fsim.LedgerStore)
 	resumable := canPersist && h.SessionID != "" && fsim.ValidSessionID(h.SessionID)
@@ -189,6 +752,7 @@ func (r *Receiver) Serve(ctx context.Context) error {
 				if kept, _ := old.VerifyAgainst(r.Store); kept > 0 {
 					metrics.ResumeSessionInc()
 					metrics.ResumeSkippedAdd(kept)
+					sess.resumed = true
 				}
 				ledger = old
 				// The persisted ledger pins the session's chunk
@@ -199,6 +763,7 @@ func (r *Receiver) Serve(ctx context.Context) error {
 			}
 		}
 	}
+	sess.ledger.Store(ledger)
 	// sessionDone flips once the session completed and its ledger was
 	// removed; the deferred persist must not resurrect it. persistMu
 	// serializes writers (ticker, CRC-mismatch path, shutdown defer) so
@@ -223,17 +788,13 @@ func (r *Receiver) Serve(ctx context.Context) error {
 			SessionID:    session,
 			ChunkBytes:   chunkBytes,
 			Ledger:       ledger.WireStates(),
+			DataToken:    sess.token,
 		}}); err != nil {
 			return fmt.Errorf("transfer: send welcome: %w", err)
 		}
 	}
 
-	bufCap := r.Cfg.ReceiverBufBytes
-	if h.ReceiverBufBytes > 0 {
-		bufCap = h.ReceiverBufBytes
-	}
-	staging := NewStaging(bufCap)
-	defer staging.Close()
+	staging := sess.staging
 
 	writers := make([]fsim.FileWriter, len(h.Files))
 	var writerMu sync.Mutex
@@ -260,77 +821,6 @@ func (r *Receiver) Serve(ctx context.Context) error {
 			}
 		}
 		writerMu.Unlock()
-	}()
-
-	arena := r.Cfg.arena()
-
-	// Data connection acceptor: one reader goroutine per connection. Each
-	// reader leases frame payloads from the arena (full and tail sizes
-	// alike) and transfers the lease to the write pool through staging.
-	// Connections are tracked so shutdown can force readers off their
-	// blocking reads and wait for every lease to be handed over or
-	// released before Serve returns.
-	var readerWG sync.WaitGroup
-	var connsMu sync.Mutex
-	var conns []net.Conn
-	connsClosed := false
-	go func() {
-		for {
-			conn, err := r.dataLn.Accept()
-			if err != nil {
-				return // listener closed on shutdown
-			}
-			// Registration and readerWG.Add happen under the same lock
-			// the shutdown path takes before readerWG.Wait: a connection
-			// either registers first (and is closed by shutdown, bounding
-			// its reader) or finds the session closed and never spawns a
-			// reader at all. Accept can win a race against dataLn.Close
-			// and deliver one last conn, so this check is load-bearing.
-			connsMu.Lock()
-			if connsClosed {
-				connsMu.Unlock()
-				conn.Close()
-				continue
-			}
-			conns = append(conns, conn)
-			readerWG.Add(1)
-			connsMu.Unlock()
-			go func() {
-				defer readerWG.Done()
-				defer conn.Close()
-				var pending *Buf
-				alloc := func(n int) []byte {
-					pending = arena.Get(n)
-					return pending.Bytes()
-				}
-				var fr wire.FrameReader
-				for {
-					pending = nil
-					f, err := fr.Read(conn, alloc)
-					if err != nil {
-						if pending != nil {
-							pending.Release()
-						}
-						if !errors.Is(err, io.EOF) {
-							r.fail(err)
-							cancel()
-						}
-						return
-					}
-					// The ledger sum is deliberately NOT the wire CRC:
-					// the write stage re-hashes the payload at commit, so
-					// corruption between frame verification and the disk
-					// write (staging memory, a premature buffer reuse)
-					// still trips the sender-vs-receiver FileSum compare.
-					if !staging.Put(Chunk{FileID: f.FileID, Offset: f.Offset, Data: f.Data, Buf: pending}) {
-						if pending != nil {
-							pending.Release()
-						}
-						return
-					}
-				}
-			}()
-		}
 	}()
 
 	// End-to-end file verification state (checksummed sessions).
@@ -360,7 +850,7 @@ func (r *Receiver) Serve(ctx context.Context) error {
 			n := ledger.InvalidateFile(fileID)
 			metrics.ResumeInvalidatedAdd(int64(n))
 			persist()
-			r.fail(fmt.Errorf("transfer: end-to-end CRC mismatch on %s: got %#x want %#x (%d-chunk ledger range invalidated)",
+			sess.fail(fmt.Errorf("transfer: end-to-end CRC mismatch on %s: got %#x want %#x (%d-chunk ledger range invalidated)",
 				manifest[fileID].Name, got, want, n))
 			cancel()
 		}
@@ -426,7 +916,7 @@ func (r *Receiver) Serve(ctx context.Context) error {
 			w, err := writerFor(c.FileID)
 			if err != nil {
 				c.Release()
-				r.fail(err)
+				sess.fail(err)
 				cancel()
 				return
 			}
@@ -445,7 +935,7 @@ func (r *Receiver) Serve(ctx context.Context) error {
 			// failed): this is the last stage of the chunk lifecycle.
 			c.Release()
 			if err != nil {
-				r.fail(err)
+				sess.fail(err)
 				cancel()
 				return
 			}
@@ -466,40 +956,39 @@ func (r *Receiver) Serve(ctx context.Context) error {
 		n = r.Cfg.InitialThreads
 	}
 	pool.Resize(n)
-	// Shutdown discipline: stop the intake first (listener, then every
-	// data connection, then wait for the readers those connections fed),
-	// close staging so a reader still mid-Put fails and releases its own
-	// lease, stop the write pool, and only then drain what's left. After
-	// this defer runs, every arena lease this session took is returned,
-	// and the ledger's latest state is persisted so the next attempt can
-	// resume from it.
+	// Shutdown discipline: stop this session's intake first (every data
+	// connection, then wait for the readers those connections fed), close
+	// staging so a reader still mid-Put fails and releases its own lease,
+	// stop the write pool, and only then drain what's left. After this
+	// defer runs, every arena lease this session took is returned, and
+	// the ledger's latest state is persisted so the next attempt can
+	// resume from it. Sibling sessions and the endpoint listeners are
+	// untouched.
 	defer func() {
-		r.dataLn.Close()
-		connsMu.Lock()
-		connsClosed = true
-		for _, c := range conns {
-			c.Close()
-		}
-		connsMu.Unlock()
+		sess.closeConns()
 		// Close staging BEFORE waiting on the readers: closing the conns
 		// only unblocks readers parked in a socket read, while a reader
 		// blocked in Put on a full staging buffer (write pool already
 		// gone on cancellation) only wakes when staging closes — waiting
-		// first would deadlock Serve forever.
+		// first would deadlock the session forever.
 		staging.Close()
-		readerWG.Wait()
+		sess.readerWG.Wait()
 		pool.Shutdown()
 		staging.ReleaseRemaining()
 		persist()
 	}()
 
 	// Control loop: periodic status out; SetWriters commands and session
-	// sums in.
+	// sums in. A dead control channel ends the session immediately: the
+	// sender can neither steer nor learn the outcome without it, and a
+	// prompt teardown frees the session's ledger key for the retry that
+	// typically follows (after completion the cancel is a no-op).
 	cmds := make(chan wire.Message, 8)
 	go func() {
 		for {
 			m, err := ctrl.Recv()
 			if err != nil {
+				cancel()
 				return
 			}
 			select {
@@ -524,7 +1013,7 @@ func (r *Receiver) Serve(ctx context.Context) error {
 			Writers:        pool.Size(),
 			Done:           done,
 		}
-		if e := r.Err(); e != nil {
+		if e := sess.Err(); e != nil {
 			st.Error = e.Error()
 		}
 		return ctrl.Send(wire.Message{Status: &st})
@@ -570,7 +1059,7 @@ func (r *Receiver) Serve(ctx context.Context) error {
 		for _, id := range chk.pending() {
 			checkFile(id)
 		}
-		if e := r.Err(); e != nil {
+		if e := sess.Err(); e != nil {
 			persist()
 			sendStatus(false)
 			return e
@@ -598,7 +1087,10 @@ func (r *Receiver) Serve(ctx context.Context) error {
 		select {
 		case <-ctx.Done():
 			sendStatus(false)
-			return r.Err()
+			if e := sess.Err(); e != nil {
+				return e
+			}
+			return ctx.Err()
 		case <-waitDone:
 			waitDone = nil
 			if h.Checksums && proto >= 1 && !chk.drained() {

@@ -53,8 +53,8 @@ func loadSessionLedger(t *testing.T, ls fsim.LedgerStore, session string) *Ledge
 	return l
 }
 
-// runReceiver starts a receiver on loopback and returns it with its
-// Serve error channel.
+// runReceiver starts a single-session receiver on loopback and returns
+// it with its ServeN error channel.
 func runReceiver(t *testing.T, ctx context.Context, cfg Config, dst fsim.Store) (*Receiver, chan error) {
 	t.Helper()
 	recv := NewReceiver(cfg, dst)
@@ -62,7 +62,7 @@ func runReceiver(t *testing.T, ctx context.Context, cfg Config, dst fsim.Store) 
 		t.Fatal(err)
 	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- recv.Serve(ctx) }()
+	go func() { errCh <- recv.ServeN(ctx, 1) }()
 	return recv, errCh
 }
 

@@ -55,6 +55,11 @@ type Sender struct {
 	Manifest   workload.Manifest
 	Controller env.Controller // nil keeps InitialThreads fixed
 
+	// forceProto, when > 0, advertises that protocol generation in the
+	// Hello instead of wire.ProtoVersion. Tests use it to emulate older
+	// peers against a multi-session endpoint.
+	forceProto int
+
 	mu         sync.Mutex
 	err        error
 	errSymptom bool
@@ -252,13 +257,17 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 	for i, f := range s.Manifest {
 		files[i] = wire.FileInfo{Name: f.Name, Size: f.Size}
 	}
+	helloProto := wire.ProtoVersion
+	if s.forceProto > 0 {
+		helloProto = s.forceProto
+	}
 	if err := ctrl.Send(wire.Message{Hello: &wire.Hello{
 		Files:            files,
 		ChunkBytes:       cfg.ChunkBytes,
 		MaxWriters:       cfg.MaxThreads,
 		InitialWriters:   cfg.InitialThreads,
 		ReceiverBufBytes: cfg.ReceiverBufBytes,
-		ProtoVersion:     wire.ProtoVersion,
+		ProtoVersion:     helloProto,
 		SessionID:        cfg.SessionID,
 		Checksums:        checksums,
 	}}); err != nil {
@@ -300,6 +309,13 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 	chunkBytes := cfg.ChunkBytes
 	if welcome.ChunkBytes > 0 {
 		chunkBytes = welcome.ChunkBytes // a resumed ledger pins the geometry
+	}
+	// Multi-session demux (protocol ≥ 2): every data connection must open
+	// with the endpoint's routing token, or its frames land nowhere.
+	negotiated := welcome.ProtoVersion
+	dataToken := welcome.DataToken
+	if negotiated >= 2 && dataToken == "" {
+		return nil, fmt.Errorf("transfer: receiver negotiated protocol %d but sent no data token", negotiated)
 	}
 
 	total := s.Manifest.TotalBytes()
@@ -483,6 +499,15 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 			}
 		}
 		defer conn.Close()
+		if negotiated >= 2 {
+			// One preamble per connection, before the first frame; the
+			// endpoint demux routes the stream to this session by token.
+			if err := wire.WriteDataPreamble(conn, dataToken); err != nil {
+				s.failSymptom(fmt.Errorf("transfer: send data preamble: %w", err))
+				cancel()
+				return
+			}
+		}
 		lim := netPerStream.get(id)
 		// Per-worker frame writer (header + writev scratch) and poll
 		// timer, so the steady-state loop allocates nothing.

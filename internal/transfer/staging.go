@@ -1,10 +1,3 @@
-// Package transfer implements the modular data transfer engine of
-// AutoMDT (§III): independent, dynamically resizable worker pools for the
-// read, network, and write stages, connected through bounded in-memory
-// staging buffers (the application-level /dev/shm analogue) and real TCP
-// data connections. A pluggable env.Controller reassigns the concurrency
-// tuple every probe interval, which is how the PPO agent, the Marlin
-// baseline, and the static baseline all drive the same engine.
 package transfer
 
 import (

@@ -1,0 +1,25 @@
+// Package wire defines the on-the-wire protocol between the sender and
+// receiver DTN processes: a binary chunk framing for the parallel data
+// connections, and a gob-encoded control channel (the "RPC channel" of
+// §IV-D-1) carrying the session handshake, the receiver's
+// staging-buffer occupancy reports, and the sender's write-concurrency
+// commands.
+//
+// The control channel is versioned (see ProtoVersion). Generation 0 is
+// the original one-shot Hello-then-statuses exchange; generation 1 adds
+// resumable sessions (the Welcome advertises the receiver's chunk
+// ledger, FileSum/SumsDone stream end-to-end file CRCs); generation 2
+// adds multi-session endpoints (the Welcome carries a DataToken that
+// every data connection echoes in a fixed preamble, letting one receiver
+// demultiplex the data streams of many concurrent sessions). Receivers
+// negotiate down, so newer receivers serve older senders.
+//
+// Data frames are length-prefixed chunks with optional CRC-32C payload
+// checksums; FrameReader and FrameWriter are the allocation-free hot
+// path (vectored header+payload writes, persistent header scratch). The
+// crc.go file supplies the GF(2) CRC combine used to fold per-chunk sums
+// into whole-file checksums without a second pass over the data.
+//
+// docs/PROTOCOL.md specifies every message, frame layout, and the
+// negotiation rules in full.
+package wire

@@ -1,13 +1,10 @@
-// Package wire defines the on-the-wire protocol between the sender and
-// receiver DTN processes: a binary chunk framing for the parallel data
-// connections, and a gob-encoded control channel (the "RPC channel" of
-// §IV-D-1) carrying the receiver's staging-buffer occupancy reports and
-// the sender's write-concurrency commands.
 package wire
 
 import (
+	"crypto/rand"
 	"encoding/binary"
 	"encoding/gob"
+	"encoding/hex"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -18,12 +15,58 @@ import (
 // speaks. Version 0 is the original one-shot handshake (Hello, then
 // statuses). Version 1 adds resumable sessions: the receiver answers
 // Hello with a Welcome carrying its chunk ledger, and the sender streams
-// per-file end-to-end CRCs (FileSum) for commit-time verification. The
-// receiver negotiates down — a v1 receiver serves a v0 sender, whose
-// control loop ignores the unsolicited Welcome — but compatibility is
-// one-way: a v1 sender waits for a Welcome that a v0 receiver will never
-// send, so receivers must be upgraded before senders.
-const ProtoVersion = 1
+// per-file end-to-end CRCs (FileSum) for commit-time verification.
+// Version 2 adds multi-session endpoints: the Welcome carries a random
+// per-session DataToken, and every data connection opens with a fixed
+// preamble (PreambleMagic + the decoded token) so one receiver can
+// demultiplex the data streams of many concurrent sessions. The receiver
+// negotiates down — a v2 receiver serves v1 and v0 senders, whose
+// un-preambled data connections route to the endpoint's single legacy
+// session slot — but compatibility is one-way: a v1+ sender waits for a
+// Welcome that a v0 receiver will never send, so receivers must be
+// upgraded before senders. docs/PROTOCOL.md specifies all three
+// generations.
+const ProtoVersion = 2
+
+// DataTokenBytes is the decoded length of a session's data-routing token
+// (Welcome.DataToken is its hex encoding).
+const DataTokenBytes = 16
+
+// PreambleBytes is the encoded size of the protocol ≥ 2 data-connection
+// preamble: PreambleMagic followed by the decoded DataToken.
+const PreambleBytes = 4 + DataTokenBytes
+
+// PreambleMagic opens every protocol ≥ 2 data connection. The first byte
+// is ≥ 0x80 on purpose: read as a big-endian frame header it would name
+// file id ≥ 0xAD000000 (~2.9 billion files), which no v1 manifest can
+// reach, so a receiver can tell a preambled connection from a legacy
+// frame stream by its first four bytes alone.
+var PreambleMagic = [4]byte{0xAD, 'M', 'T', '2'}
+
+// NewDataToken returns a fresh random session data token, hex-encoded as
+// carried in a Welcome.
+func NewDataToken() string {
+	var b [DataTokenBytes]byte
+	if _, err := io.ReadFull(rand.Reader, b[:]); err != nil {
+		panic(fmt.Sprintf("wire: data token entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WriteDataPreamble writes the protocol ≥ 2 data-connection preamble:
+// the magic plus the decoded token. Senders call it once per data
+// connection, before the first frame.
+func WriteDataPreamble(w io.Writer, token string) error {
+	raw, err := hex.DecodeString(token)
+	if err != nil || len(raw) != DataTokenBytes {
+		return fmt.Errorf("wire: malformed data token %q", token)
+	}
+	var buf [PreambleBytes]byte
+	copy(buf[:4], PreambleMagic[:])
+	copy(buf[4:], raw)
+	_, err = w.Write(buf[:])
+	return err
+}
 
 // EndStream is the FileID value marking the end of a data connection.
 const EndStream = ^uint32(0)
@@ -239,6 +282,10 @@ type Welcome struct {
 	ChunkBytes int
 	// Ledger lists per-file committed state. Empty for fresh sessions.
 	Ledger []FileState
+	// DataToken (protocol ≥ 2) is the hex-encoded routing token the
+	// sender must echo in every data-connection preamble so the endpoint
+	// can demultiplex concurrent sessions. Empty below protocol 2.
+	DataToken string
 }
 
 // FileSum carries the sender's end-to-end CRC-32C of one fully read
