@@ -222,6 +222,19 @@ func BenchmarkEngineLoopbackE2E(b *testing.B) { enginebench.LoopbackE2E(true, tr
 // verification disabled, isolating the CRC-32C cost.
 func BenchmarkEngineLoopbackE2ENoCRC(b *testing.B) { enginebench.LoopbackE2E(true, false)(b) }
 
+// BenchmarkEngineLedgerTickV1 measures one steady-state probe-tick
+// persist of the quick-scale session ledger as a schema-1 full-document
+// rewrite (O(chunks) per tick).
+func BenchmarkEngineLedgerTickV1(b *testing.B) { enginebench.LedgerPersistTick(false, true)(b) }
+
+// BenchmarkEngineLedgerTickV2 is the same tick as schema-2 journal
+// records (O(delta) per tick) — the ledger-scalability headline.
+func BenchmarkEngineLedgerTickV2(b *testing.B) { enginebench.LedgerPersistTick(true, true)(b) }
+
+// BenchmarkEngineLedgerReplay measures crash-recovery journal replay at
+// the quick scenario scale (one commit record per chunk).
+func BenchmarkEngineLedgerReplay(b *testing.B) { enginebench.LedgerJournalReplay(true)(b) }
+
 // BenchmarkLoopbackEngine measures raw engine goodput over loopback TCP
 // with no rate shaping (GC and syscall overhead are the ceiling here).
 func BenchmarkLoopbackEngine(b *testing.B) {

@@ -191,17 +191,23 @@ func main() {
 	})
 	run("engine", func() error {
 		rep := enginebench.Run(mode == experiments.Quick)
-		fmt.Printf("%-20s %14s %12s %12s %12s\n", "benchmark", "ns/op", "MB/s", "allocs/op", "B/op")
+		fmt.Printf("%-20s %14s %12s %12s %12s %14s\n", "benchmark", "ns/op", "MB/s", "allocs/op", "B/op", "persist B/op")
 		for _, r := range rep.Results {
-			mbs := "-"
+			mbs, pb := "-", "-"
 			if r.MBPerSec > 0 {
 				mbs = fmt.Sprintf("%.1f", r.MBPerSec)
 			}
-			fmt.Printf("%-20s %14.0f %12s %12.0f %12.0f\n", r.Name, r.NsPerOp, mbs, r.AllocsPerOp, r.BytesPerOp)
+			if r.PersistedBytesPerOp > 0 {
+				pb = fmt.Sprintf("%.0f", r.PersistedBytesPerOp)
+			}
+			fmt.Printf("%-20s %14.0f %12s %12.0f %12.0f %14s\n", r.Name, r.NsPerOp, mbs, r.AllocsPerOp, r.BytesPerOp, pb)
 			snap.Add("bench_engine_ns_per_op", r.NsPerOp, metrics.L("bench", r.Name))
 			snap.Add("bench_engine_allocs_per_op", r.AllocsPerOp, metrics.L("bench", r.Name))
 			if r.MBPerSec > 0 {
 				snap.Add("bench_engine_mb_per_s", r.MBPerSec, metrics.L("bench", r.Name))
+			}
+			if r.PersistedBytesPerOp > 0 {
+				snap.Add("bench_engine_persisted_bytes_per_op", r.PersistedBytesPerOp, metrics.L("bench", r.Name))
 			}
 		}
 		if *benchJSON != "" {

@@ -14,6 +14,12 @@
 // Stale session ledgers in -dir older than -ledger-ttl are expired when
 // the endpoint starts.
 //
+// Ledger inspection and offline compaction for a destination directory:
+//
+//	automdt-xfer ledger -dir /staging/dst                  # list sessions
+//	automdt-xfer ledger -dir /staging/dst -session s-01    # one session
+//	automdt-xfer ledger -dir /staging/dst -session s-01 -compact
+//
 // Sender (source DTN):
 //
 //	automdt-xfer send -data host:9000 -ctrl host:9001 \
@@ -57,13 +63,15 @@ func main() {
 		serve(os.Args[2:])
 	case "send":
 		send(os.Args[2:])
+	case "ledger":
+		ledgerCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: automdt-xfer {recv|serve|send} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: automdt-xfer {recv|serve|send|ledger} [flags]")
 	os.Exit(2)
 }
 
@@ -135,6 +143,7 @@ func serve(args []string) {
 	cfg := engineConfig(fs)
 	fs.IntVar(&cfg.MaxSessions, "max-sessions", 0, "concurrent-session admission cap (0 = default 64)")
 	fs.DurationVar(&cfg.LedgerTTL, "ledger-ttl", 0, "expire session ledgers older than this on start (0 = default 30 days, negative disables)")
+	fs.Int64Var(&cfg.LedgerCompactBytes, "ledger-compact", 0, "fold a session's ledger journal into a fresh snapshot once it exceeds this many bytes (0 = default 1 MiB, negative disables)")
 	fs.Parse(args)
 
 	r := transfer.NewReceiver(*cfg, recvStore(*dir, *verify))
@@ -247,6 +256,104 @@ func send(args []string) {
 		fmt.Printf("resumed session %s: skipped %d committed bytes\n", res.SessionID, res.SkippedBytes)
 	}
 	fmt.Printf("done: %d bytes in %v (%.0f Mbps)\n", res.Bytes, res.Duration.Round(time.Millisecond), res.AvgMbps)
+}
+
+// ledgerCmd inspects and maintains the session ledgers of a resumable
+// destination directory. Without -session it lists every persisted
+// session; with one it prints the session's full state (snapshot +
+// journal folded together); with -compact it folds the journal into a
+// fresh binary snapshot and truncates it — the offline counterpart of
+// the receiver's automatic compaction, useful before archiving a
+// destination or after a crash left a long journal behind.
+func ledgerCmd(args []string) {
+	fs := flag.NewFlagSet("ledger", flag.ExitOnError)
+	dir := fs.String("dir", "", "destination directory holding .automdt session state (required)")
+	session := fs.String("session", "", "session id to inspect (empty = list all)")
+	compact := fs.Bool("compact", false, "fold the session's journal into a fresh snapshot (needs -session)")
+	fs.Parse(args)
+	if *dir == "" {
+		fatal(fmt.Errorf("ledger: -dir is required"))
+	}
+	if *compact && *session == "" {
+		fatal(fmt.Errorf("ledger: -compact needs -session"))
+	}
+	ds, err := fsim.NewDirStore(*dir)
+	if err != nil {
+		fatal(err)
+	}
+
+	// loadState reads a session's document once and folds in its
+	// journal, returning the decoded state plus the raw sizes (one read
+	// per file — a 4M-chunk snapshot is ~16 MB, not worth reading twice).
+	loadState := func(session string) (l *transfer.Ledger, schema, rawLen, journalLen int, err error) {
+		raw, err := ds.LoadLedger(session)
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		l, err = transfer.DecodeLedger(raw)
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		journal, _ := ds.LoadJournal(session)
+		l.ReplayJournal(journal)
+		return l, transfer.LedgerSchema(raw), len(raw), len(journal), nil
+	}
+
+	if *session == "" {
+		infos, err := ds.ListLedgers()
+		if err != nil {
+			fatal(err)
+		}
+		if len(infos) == 0 {
+			fmt.Println("no session ledgers")
+			return
+		}
+		fmt.Printf("%-24s %-7s %10s %14s %14s %8s\n", "session", "schema", "age", "committed", "total", "files")
+		for _, info := range infos {
+			l, schema, _, _, err := loadState(info.Session)
+			if err != nil {
+				fmt.Printf("%-24s unreadable: %v\n", info.Session, err)
+				continue
+			}
+			var total int64
+			for _, f := range l.Files {
+				total += f.Size
+			}
+			fmt.Printf("%-24s %-7d %10s %14d %14d %8d\n",
+				info.Session, schema, info.Age.Round(time.Second),
+				l.CommittedBytes(), total, len(l.Files))
+		}
+		return
+	}
+
+	l, schema, rawLen, journalLen, err := loadState(*session)
+	if err != nil {
+		fatal(fmt.Errorf("ledger: load %s: %w", *session, err))
+	}
+	var total int64
+	for _, f := range l.Files {
+		total += f.Size
+	}
+	fmt.Printf("session:      %s\n", l.SessionID)
+	fmt.Printf("schema:       %d\n", schema)
+	fmt.Printf("chunk bytes:  %d\n", l.ChunkBytes)
+	fmt.Printf("checksums:    %v\n", l.HasSums)
+	fmt.Printf("files:        %d\n", len(l.Files))
+	fmt.Printf("committed:    %d / %d bytes (%.1f%%), %d chunks\n",
+		l.CommittedBytes(), total, 100*float64(l.CommittedBytes())/max(float64(total), 1), l.CommittedChunks())
+	fmt.Printf("snapshot:     %d bytes\n", rawLen)
+	fmt.Printf("journal:      %d bytes\n", journalLen)
+	if !*compact {
+		return
+	}
+	snap := l.EncodeV2()
+	if err := ds.SaveLedger(*session, snap); err != nil {
+		fatal(err)
+	}
+	if err := ds.ResetJournal(*session); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("compacted:    %d journal bytes folded into a %d-byte snapshot\n", journalLen, len(snap))
 }
 
 // manifestFromDir lists regular files under root, relative to it,

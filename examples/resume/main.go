@@ -64,13 +64,11 @@ func main() {
 	go func() {
 		// Watch the persisted ledger and pull the plug at ~40%.
 		for {
-			if data, err := dst1.LoadLedger(session); err == nil {
-				if l, err := transfer.DecodeLedger(data); err == nil && l.CommittedBytes() > 2*total/5 {
-					fmt.Printf("phase 1: killing receiver at %d / %d bytes committed\n",
-						l.CommittedBytes(), total)
-					kill()
-					return
-				}
+			if l, err := transfer.LoadSessionLedger(dst1, session); err == nil && l.CommittedBytes() > 2*total/5 {
+				fmt.Printf("phase 1: killing receiver at %d / %d bytes committed\n",
+					l.CommittedBytes(), total)
+				kill()
+				return
 			}
 			time.Sleep(2 * time.Millisecond)
 		}
@@ -88,13 +86,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ledger, err := dst2.LoadLedger(session)
+	// Snapshot + journal folded together — what the next attempt trusts.
+	l, err := transfer.LoadSessionLedger(dst2, session)
 	if err != nil {
 		log.Fatal("no persisted ledger to resume from: ", err)
-	}
-	l, err := transfer.DecodeLedger(ledger)
-	if err != nil {
-		log.Fatal(err)
 	}
 	committed := l.CommittedBytes()
 	fmt.Printf("phase 2: ledger survives restart with %d bytes (%.0f%%) committed\n",

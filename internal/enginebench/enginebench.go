@@ -147,6 +147,102 @@ func LoopbackE2E(quick, checksums bool) func(b *testing.B) {
 	}
 }
 
+// Ledger scenario sizing: the paper's headline dataset — 1000×1 GB at
+// 256 KiB chunks — is a 4M-chunk session ledger. Full mode benches that
+// directly; quick (CI) mode uses a quarter-million chunks, still big
+// enough that O(chunks)-per-tick persistence and O(delta) journaling
+// differ by orders of magnitude.
+const (
+	ledgerChunksPerFile = 4096 // 1 GiB per file at 256 KiB chunks
+	ledgerTickChunks    = 1024 // ≈256 MB freshly committed per probe tick
+)
+
+func ledgerBenchChunks(quick bool) int {
+	if quick {
+		return 256 << 10
+	}
+	return 4 << 20
+}
+
+func ledgerBenchManifest(chunks int) workload.Manifest {
+	return workload.LargeFiles(chunks/ledgerChunksPerFile, ledgerChunksPerFile*int64(chunkBytes))
+}
+
+// LedgerPersistTick measures one steady-state probe-tick persist of a
+// fully-built session ledger: ledgerTickChunks chunks turn over per
+// tick, and the tick serializes either the whole schema-1 JSON document
+// (v1, O(chunks)) or just the delta as schema-2 journal records (v2,
+// O(delta)). The persisted bytes per tick are reported as
+// persistbytes/op — the number the CI gate holds the ≥10× v1→v2 win to.
+func LedgerPersistTick(v2, quick bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		chunks := ledgerBenchChunks(quick)
+		m := ledgerBenchManifest(chunks)
+		l := transfer.NewLedger("bench-ledger", chunkBytes, m, true)
+		cb := int64(chunkBytes)
+		for g := 0; g < chunks; g++ {
+			l.Commit(uint32(g/ledgerChunksPerFile), int64(g%ledgerChunksPerFile)*cb, chunkBytes, uint32(g))
+		}
+		l.AppendSince() // drain the setup delta
+		var persisted int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := i * ledgerTickChunks % chunks
+			for j := 0; j < ledgerTickChunks; j++ {
+				g := (start + j) % chunks
+				fid := uint32(g / ledgerChunksPerFile)
+				off := int64(g%ledgerChunksPerFile) * cb
+				l.Invalidate(fid, off, cb)
+				l.Commit(fid, off, chunkBytes, uint32(g))
+			}
+			if v2 {
+				persisted += int64(len(l.AppendSince()))
+			} else {
+				data, err := l.Encode()
+				if err != nil {
+					b.Fatal(err)
+				}
+				persisted += int64(len(data))
+				l.AppendSince() // v1 has no journal; the delta is discarded
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(persisted)/float64(b.N), "persistbytes/op")
+	}
+}
+
+// LedgerJournalReplay measures recovering a session from its persisted
+// v2 state: decode an empty snapshot, then replay a journal carrying
+// one commit record per chunk — the worst-case crash-recovery load for
+// the scenario size. MB/s is journal bytes replayed per second.
+func LedgerJournalReplay(quick bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		chunks := ledgerBenchChunks(quick)
+		m := ledgerBenchManifest(chunks)
+		l := transfer.NewLedger("bench-replay", chunkBytes, m, true)
+		snap := l.EncodeV2()
+		journal := l.JournalHeader()
+		cb := int64(chunkBytes)
+		for g := 0; g < chunks; g++ {
+			l.Commit(uint32(g/ledgerChunksPerFile), int64(g%ledgerChunksPerFile)*cb, chunkBytes, uint32(g))
+		}
+		journal = append(journal, l.AppendSince()...)
+		b.SetBytes(int64(len(journal)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			base, err := transfer.DecodeLedger(snap)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if applied := base.ReplayJournal(journal); applied != chunks {
+				b.Fatalf("replayed %d of %d records", applied, chunks)
+			}
+		}
+	}
+}
+
 // Result is one benchmark's headline numbers.
 type Result struct {
 	Name        string  `json:"name"`
@@ -154,6 +250,10 @@ type Result struct {
 	MBPerSec    float64 `json:"mb_per_s,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	// PersistedBytesPerOp is how many ledger bytes one persist tick
+	// wrote (the ledger scenario's headline: v2 must stay ≥10× under
+	// v1). Hardware-independent, so the baseline gate always arms.
+	PersistedBytesPerOp float64 `json:"persisted_bytes_per_op,omitempty"`
 }
 
 // Report is the BENCH_engine.json document.
@@ -206,6 +306,9 @@ func toResult(name string, bytesPerOp int64, r testing.BenchmarkResult) Result {
 	if bytesPerOp > 0 && r.T > 0 {
 		res.MBPerSec = float64(bytesPerOp) * float64(r.N) / r.T.Seconds() / 1e6
 	}
+	if v, ok := r.Extra["persistbytes/op"]; ok {
+		res.PersistedBytesPerOp = v
+	}
 	return res
 }
 
@@ -234,6 +337,12 @@ func Run(quick bool) Report {
 		// CRC-32C cost of the integrity/resume machinery.
 		toResult("loopback_e2e", loopBytes, testing.Benchmark(LoopbackE2E(quick, true))),
 		toResult("loopback_e2e_nocrc", loopBytes, testing.Benchmark(LoopbackE2E(quick, false))),
+		// Ledger scenario (4M chunks full, 256k quick): the per-tick
+		// persist cost of schema 1 (full JSON document) vs schema 2
+		// (journal delta), and the crash-recovery journal replay.
+		toResult("ledger_tick_v1", 0, testing.Benchmark(LedgerPersistTick(false, quick))),
+		toResult("ledger_tick_v2", 0, testing.Benchmark(LedgerPersistTick(true, quick))),
+		toResult("ledger_replay_v2", 0, testing.Benchmark(LedgerJournalReplay(quick))),
 	)
 	return rep
 }
@@ -280,6 +389,13 @@ func Compare(base, cur Report, tol float64) []Regression {
 		allocGate := b.AllocsPerOp*(1+tol) + 4
 		if c.AllocsPerOp > allocGate {
 			regs = append(regs, Regression{c.Name, "allocs_per_op", b.AllocsPerOp, c.AllocsPerOp})
+		}
+		// Persisted bytes per tick are deterministic (encoding size, not
+		// speed), so like allocs they gate on every runner. The absolute
+		// slack absorbs varint-width jitter on near-empty deltas.
+		persistGate := b.PersistedBytesPerOp*(1+tol) + 64
+		if b.PersistedBytesPerOp > 0 && c.PersistedBytesPerOp > persistGate {
+			regs = append(regs, Regression{c.Name, "persisted_bytes_per_op", b.PersistedBytesPerOp, c.PersistedBytesPerOp})
 		}
 	}
 	return regs

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"automdt/internal/transfer"
 )
 
 func report(results ...Result) Report {
@@ -113,4 +115,50 @@ func TestMicroBenchmarksRun(t *testing.T) {
 			t.Fatalf("%s did not run: %+v", name, r)
 		}
 	}
+}
+
+func TestComparePersistedBytesGate(t *testing.T) {
+	base := report(Result{Name: "ledger_tick_v2", PersistedBytesPerOp: 10000})
+	if regs := Compare(base, report(Result{Name: "ledger_tick_v2", PersistedBytesPerOp: 11900}), 0.20); len(regs) != 0 {
+		t.Fatalf("within-tolerance persist growth flagged: %v", regs)
+	}
+	regs := Compare(base, report(Result{Name: "ledger_tick_v2", PersistedBytesPerOp: 12200}), 0.20)
+	if len(regs) != 1 || regs[0].Metric != "persisted_bytes_per_op" {
+		t.Fatalf("persist regression not caught: %v", regs)
+	}
+	// Benchmarks without the metric (everything but the ledger ticks)
+	// must not arm the gate.
+	if regs := Compare(report(Result{Name: "frame_encode"}), report(Result{Name: "frame_encode", PersistedBytesPerOp: 5}), 0.20); len(regs) != 0 {
+		t.Fatalf("metric-less benchmark armed the persist gate: %v", regs)
+	}
+}
+
+// The ledger scenario's acceptance criterion, shrunk to test speed: at
+// steady state a v2 probe tick persists at least 10× fewer bytes than
+// the v1 full-document rewrite of the same session.
+func TestLedgerTickDeltaIsTenthOfDocument(t *testing.T) {
+	const chunks = 64 << 10 // 16 files of the scenario's 4096-chunk shape
+	m := ledgerBenchManifest(chunks)
+	l := transfer.NewLedger("tick-ratio", chunkBytes, m, true)
+	cb := int64(chunkBytes)
+	for g := 0; g < chunks; g++ {
+		l.Commit(uint32(g/ledgerChunksPerFile), int64(g%ledgerChunksPerFile)*cb, chunkBytes, uint32(g))
+	}
+	l.AppendSince()
+	// One steady-state tick's worth of fresh commits.
+	for j := 0; j < ledgerTickChunks; j++ {
+		fid := uint32(j / ledgerChunksPerFile)
+		off := int64(j%ledgerChunksPerFile) * cb
+		l.Invalidate(fid, off, cb)
+		l.Commit(fid, off, chunkBytes, uint32(j))
+	}
+	doc, err := l.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := l.AppendSince()
+	if len(delta) == 0 || len(doc) < 10*len(delta) {
+		t.Fatalf("v1 tick writes %d bytes, v2 tick %d: want ≥10× reduction", len(doc), len(delta))
+	}
+	t.Logf("v1 tick %d B, v2 tick %d B (%.0f×) at %d chunks", len(doc), len(delta), float64(len(doc))/float64(len(delta)), chunks)
 }

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestSyntheticContentDeterministic(t *testing.T) {
@@ -288,5 +289,146 @@ func TestSyntheticStoreStatAndLedger(t *testing.T) {
 	s.RemoveLedger("sess")
 	if _, err := s.LoadLedger("sess"); !errors.Is(err, os.ErrNotExist) {
 		t.Fatalf("want not-exist after remove, got %v", err)
+	}
+}
+
+// SaveLedger routes documents by content: JSON to ledger.json, binary
+// snapshots to ledger.bin — and a binary save migrates a JSON session
+// in place (the old document and the legacy flat sidecar are removed).
+func TestDirStoreSaveRoutesByContentAndMigrates(t *testing.T) {
+	root := t.TempDir()
+	ds, _ := NewDirStore(root)
+	jsonDoc := []byte(`{"schema":1}`)
+	binDoc := []byte{0xAD, 'L', 'S', '2', 9, 9, 9}
+	if err := ds.SaveLedger("sess", jsonDoc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, ".automdt", "sess", "ledger.json")); err != nil {
+		t.Fatalf("JSON document not at ledger.json: %v", err)
+	}
+	// A legacy flat sidecar from an even older build is lying around.
+	flat := filepath.Join(root, ".automdt", "sess.ledger")
+	if err := os.WriteFile(flat, jsonDoc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SaveLedger("sess", binDoc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, ".automdt", "sess", "ledger.bin")); err != nil {
+		t.Fatalf("binary document not at ledger.bin: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(root, ".automdt", "sess", "ledger.json")); !os.IsNotExist(err) {
+		t.Fatal("migration left the JSON document behind")
+	}
+	if _, err := os.Stat(flat); !os.IsNotExist(err) {
+		t.Fatal("migration left the legacy flat sidecar behind")
+	}
+	if got, err := ds.LoadLedger("sess"); err != nil || !bytes.Equal(got, binDoc) {
+		t.Fatalf("load=%v err=%v", got, err)
+	}
+}
+
+// The append-only journal: appends accumulate in order and survive
+// independently of the snapshot; reset discards them; remove clears the
+// whole session including the journal.
+func TestDirStoreJournalAppendResetRemove(t *testing.T) {
+	root := t.TempDir()
+	ds, _ := NewDirStore(root)
+	if j, err := ds.LoadJournal("sess"); err != nil || j != nil {
+		t.Fatalf("missing journal should load empty: %v %v", j, err)
+	}
+	if err := ds.AppendLedger("sess", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AppendLedger("sess", []byte("def")); err != nil {
+		t.Fatal(err)
+	}
+	if j, err := ds.LoadJournal("sess"); err != nil || string(j) != "abcdef" {
+		t.Fatalf("journal=%q err=%v", j, err)
+	}
+	if err := ds.ResetJournal("sess"); err != nil {
+		t.Fatal(err)
+	}
+	if j, err := ds.LoadJournal("sess"); err != nil || len(j) != 0 {
+		t.Fatalf("journal after reset=%q err=%v", j, err)
+	}
+	if err := ds.AppendLedger("sess", []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SaveLedger("sess", []byte{0xAD, 'L', 'S', '2'}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.RemoveLedger("sess"); err != nil {
+		t.Fatal(err)
+	}
+	if j, _ := ds.LoadJournal("sess"); len(j) != 0 {
+		t.Fatalf("journal survived RemoveLedger: %q", j)
+	}
+	if entries, err := os.ReadDir(filepath.Join(root, ".automdt")); err == nil && len(entries) != 0 {
+		t.Fatalf("session residue after remove: %v", entries)
+	}
+	if err := ds.AppendLedger("../escape", []byte("x")); err == nil {
+		t.Fatal("path-escaping session id accepted by AppendLedger")
+	}
+}
+
+// ListLedgers enumerates sessions in every layout (binary, JSON,
+// journal-only age refresh, legacy flat).
+func TestDirStoreListLedgersNewLayout(t *testing.T) {
+	root := t.TempDir()
+	ds, _ := NewDirStore(root)
+	if err := ds.SaveLedger("bin-sess", []byte{0xAD, 'L', 'S', '2'}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AppendLedger("bin-sess", []byte("recs")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SaveLedger("json-sess", []byte(`{"schema":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, ".automdt", "flat-sess.ledger"), []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := ds.ListLedgers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, info := range infos {
+		got[info.Session] = true
+		if info.Age < 0 || info.Age > time.Minute {
+			t.Fatalf("%s: implausible age %v", info.Session, info.Age)
+		}
+	}
+	for _, want := range []string{"bin-sess", "json-sess", "flat-sess"} {
+		if !got[want] {
+			t.Fatalf("ListLedgers missed %s: %v", want, infos)
+		}
+	}
+}
+
+// The synthetic store's journal mirrors the DirStore semantics in
+// memory.
+func TestSyntheticStoreJournal(t *testing.T) {
+	s := NewSyntheticStore()
+	if j, err := s.LoadJournal("sess"); err != nil || len(j) != 0 {
+		t.Fatalf("missing journal should load empty: %v %v", j, err)
+	}
+	s.AppendLedger("sess", []byte("ab"))
+	s.AppendLedger("sess", []byte("cd"))
+	if j, _ := s.LoadJournal("sess"); string(j) != "abcd" {
+		t.Fatalf("journal=%q", j)
+	}
+	if err := s.AppendLedger("../bad", nil); err == nil {
+		t.Fatal("invalid session accepted")
+	}
+	s.ResetJournal("sess")
+	if j, _ := s.LoadJournal("sess"); len(j) != 0 {
+		t.Fatalf("journal after reset=%q", j)
+	}
+	s.AppendLedger("sess", []byte("zz"))
+	s.RemoveLedger("sess")
+	if j, _ := s.LoadJournal("sess"); len(j) != 0 {
+		t.Fatalf("journal survived remove: %q", j)
 	}
 }

@@ -761,11 +761,9 @@ func TestLoopbackRunnerReusesSinkAcrossAttempts(t *testing.T) {
 	go func() {
 		deadline := time.Now().Add(15 * time.Second)
 		for time.Now().Before(deadline) {
-			if data, err := sink.LoadLedger(session); err == nil {
-				if l, err := transfer.DecodeLedger(data); err == nil && l.CommittedBytes() > 0 {
-					cancel() // kill attempt 1 mid-flight
-					return
-				}
+			if l, err := transfer.LoadSessionLedger(sink, session); err == nil && l.CommittedBytes() > 0 {
+				cancel() // kill attempt 1 mid-flight
+				return
 			}
 			time.Sleep(2 * time.Millisecond)
 		}

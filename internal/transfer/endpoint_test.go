@@ -89,11 +89,9 @@ func TestEndpointServesConcurrentSessions(t *testing.T) {
 	go func() {
 		deadline := time.Now().Add(20 * time.Second)
 		for time.Now().Before(deadline) {
-			if data, err := dst.LoadLedger(session(killed)); err == nil {
-				if l, err := DecodeLedger(data); err == nil && l.CommittedBytes() > killTotal/4 {
-					kill()
-					return
-				}
+			if l, err := LoadSessionLedger(dst, session(killed)); err == nil && l.CommittedBytes() > killTotal/4 {
+				kill()
+				return
 			}
 			time.Sleep(2 * time.Millisecond)
 		}
@@ -171,13 +169,9 @@ func TestEndpointServesConcurrentSessions(t *testing.T) {
 	// Ledger isolation: the victim's persisted ledger describes exactly
 	// its own namespaced files — nothing leaked in from the eight
 	// sessions that shared the endpoint.
-	data, err := dst.LoadLedger(session(killed))
+	l, err := LoadSessionLedger(dst, session(killed))
 	if err != nil {
 		t.Fatalf("killed session left no ledger to resume from: %v", err)
-	}
-	l, err := DecodeLedger(data)
-	if err != nil {
-		t.Fatal(err)
 	}
 	if err := l.MatchesManifest(manifests[killed]); err != nil {
 		t.Fatalf("killed session's ledger cross-contaminated: %v", err)

@@ -16,8 +16,10 @@ import (
 	"automdt/internal/workload"
 )
 
-// ledgerSchema versions the persisted ledger document; a receiver
-// discards documents from a different schema rather than guessing.
+// ledgerSchema is the JSON (v1) ledger document schema. Schema 2 is the
+// binary snapshot + append-only journal encoding in ledgerv2.go;
+// DecodeLedger sniffs which one it was handed, so a receiver reads both
+// and discards anything else rather than guessing.
 const ledgerSchema = 1
 
 // Ledger is a session's chunk ledger: per file, a bitmap of chunk ranges
@@ -42,7 +44,23 @@ type Ledger struct {
 	// Commit/Invalidate/ApplyWire so the write pool's completion check
 	// is O(1) instead of an O(#files) scan per chunk.
 	committed int64
-	dirty     bool
+	// pending records every mutation since the last AppendSince, in
+	// order, so a persist tick can journal just the delta instead of
+	// re-serializing the whole document.
+	pending []ledgerOp
+	// gen identifies the most recent v2 snapshot encoding of this ledger;
+	// journal records are only replayed over the snapshot they extend.
+	gen uint64
+}
+
+// ledgerOp is one recorded ledger mutation: a chunk commit (commit true,
+// lo names the chunk, sum its CRC) or a chunk-range invalidation
+// ([lo, hi)).
+type ledgerOp struct {
+	file   uint32
+	lo, hi uint32
+	sum    uint32
+	commit bool
 }
 
 // FileLedger is one file's committed-chunk state.
@@ -154,7 +172,7 @@ func (l *Ledger) Commit(fileID uint32, off int64, n int, sum uint32) bool {
 	}
 	f.Committed += int64(n)
 	l.committed += int64(n)
-	l.dirty = true
+	l.pending = append(l.pending, ledgerOp{file: fileID, lo: uint32(idx), sum: sum, commit: true})
 	return true
 }
 
@@ -185,7 +203,7 @@ func (l *Ledger) Invalidate(fileID uint32, off, n int64) int {
 		}
 	}
 	if cleared > 0 {
-		l.dirty = true
+		l.pending = append(l.pending, ledgerOp{file: fileID, lo: uint32(max(lo, 0)), hi: uint32(hi)})
 	}
 	return cleared
 }
@@ -373,9 +391,13 @@ func (l *Ledger) Encode() ([]byte, error) {
 	return json.Marshal(doc)
 }
 
-// DecodeLedger parses a persisted ledger document, recomputing committed
-// byte counts from the bitmaps.
+// DecodeLedger parses a persisted ledger document — sniffing the
+// schema, so both the JSON v1 document and the binary v2 snapshot load
+// — recomputing committed byte counts from the bitmaps.
 func DecodeLedger(data []byte) (*Ledger, error) {
+	if LedgerSchema(data) == 2 {
+		return decodeLedgerV2(data)
+	}
 	var doc ledgerDoc
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("transfer: decode ledger: %w", err)
@@ -414,13 +436,34 @@ func DecodeLedger(data []byte) (*Ledger, error) {
 	return l, nil
 }
 
-// takeDirty reports and clears the dirty flag (persist-on-tick support).
-func (l *Ledger) takeDirty() bool {
+// AppendSince drains the mutations recorded since the last call,
+// encoded as v2 journal records ready to append to the session journal
+// (persist-on-tick support). It returns nil when nothing changed. The
+// records extend the ledger's most recent v2 snapshot; replaying them
+// over that snapshot — or over any later one, since re-applying an
+// in-order prefix is idempotent — reproduces the live state.
+//
+// Encoding happens under the lock (a tick's worth of records costs
+// microseconds) so the pending slice's capacity can be reused: the
+// commit hot path then never re-grows it from nil between ticks.
+func (l *Ledger) AppendSince() []byte {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	d := l.dirty
-	l.dirty = false
-	return d
+	if len(l.pending) == 0 {
+		return nil
+	}
+	buf := make([]byte, 0, journalRecordMax*len(l.pending))
+	for _, op := range l.pending {
+		buf = appendJournalRecord(buf, op)
+	}
+	if cap(l.pending) > 1<<16 {
+		// A journal replay can momentarily record millions of ops;
+		// don't pin that much backing array for the session's lifetime.
+		l.pending = nil
+	} else {
+		l.pending = l.pending[:0]
+	}
+	return buf
 }
 
 // VerifyAgainst re-checks every committed range against the destination

@@ -1,0 +1,171 @@
+package transfer
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"automdt/internal/fsim"
+	"automdt/internal/wire"
+	"automdt/internal/workload"
+)
+
+// persistV1Session recreates what the schema-1 code path left on disk:
+// a half-committed JSON ledger document plus the data file backing its
+// committed ranges. Returns the committed byte count.
+func persistV1Session(t *testing.T, dst *fsim.DirStore, session string, cfg Config, m workload.Manifest) int64 {
+	t.Helper()
+	l := NewLedger(session, cfg.ChunkBytes, m, true)
+	buf := make([]byte, cfg.ChunkBytes)
+	w, err := dst.Create(m[0].Name, m[0].Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := int64(0); off < m[0].Size; off += int64(cfg.ChunkBytes) {
+		chunk := buf[:min(int64(cfg.ChunkBytes), m[0].Size-off)]
+		fsim.FillContent(m[0].Name, off, chunk)
+		if _, err := w.WriteAt(chunk, off); err != nil {
+			t.Fatal(err)
+		}
+		l.Commit(0, off, len(chunk), wire.PayloadCRC(chunk))
+	}
+	w.Close()
+	data, err := l.Encode() // schema-1 JSON, exactly what old builds saved
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.SaveLedger(session, data); err != nil {
+		t.Fatal(err)
+	}
+	return l.CommittedBytes()
+}
+
+// A session persisted by the schema-1 code path resumes under v2,
+// migrates in place at the first save — the binary snapshot replaces
+// the JSON document while the session is still running — completes, and
+// leaves nothing behind.
+func TestV1LedgerMigratesToV2OnResume(t *testing.T) {
+	dir := t.TempDir()
+	const session = "migrate-v1"
+	m := workload.LargeFiles(2, 512<<10)
+	src := fsim.NewSyntheticStore()
+	cfg := testConfig()
+	cfg.SessionID = session
+	cfg.Shaping.LinkMbps = 120 // slow enough to observe the mid-run layout
+
+	dst, err := fsim.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := persistV1Session(t, dst, session, cfg, m)
+	jsonPath := filepath.Join(dir, ".automdt", session, "ledger.json")
+	binPath := filepath.Join(dir, ".automdt", session, "ledger.bin")
+	if _, err := os.Stat(jsonPath); err != nil {
+		t.Fatalf("v1 fixture not at the JSON path: %v", err)
+	}
+
+	// Watch the session directory while the resume runs: the v2
+	// snapshot must appear and the JSON document must be gone while the
+	// transfer is still in flight (migration happens at the first save,
+	// not at completion).
+	migrated := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		defer close(migrated)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+			_, binErr := os.Stat(binPath)
+			_, jsonErr := os.Stat(jsonPath)
+			if binErr == nil && os.IsNotExist(jsonErr) {
+				return
+			}
+		}
+	}()
+
+	res, err := Loopback(context.Background(), cfg, m, src, dst, nil)
+	close(stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resumed || res.SkippedBytes != committed {
+		t.Fatalf("resume across the schema upgrade failed: %+v (want %d skipped)", res, committed)
+	}
+	select {
+	case <-migrated:
+	default:
+		t.Fatal("migration to the v2 layout was never observed mid-run")
+	}
+	// Completion removes every layout's files.
+	if _, err := dst.LoadLedger(session); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("ledger survived completion: %v", err)
+	}
+	if entries, err := os.ReadDir(filepath.Join(dir, ".automdt")); err == nil && len(entries) != 0 {
+		t.Fatalf("control-state residue after completion: %v", entries)
+	}
+	for _, f := range m {
+		got, err := os.ReadFile(filepath.Join(dir, f.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, f.Size)
+		fsim.FillContent(f.Name, 0, want)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s corrupt after migrated resume", f.Name)
+		}
+	}
+}
+
+// Ledgers written by the oldest builds at the flat
+// .automdt/<session>.ledger path still load and resume; the migrated
+// session cleans the flat file up too.
+func TestLegacyFlatPathLedgerStillResumes(t *testing.T) {
+	dir := t.TempDir()
+	const session = "legacy-flat"
+	m := workload.LargeFiles(2, 256<<10)
+	src := fsim.NewSyntheticStore()
+	cfg := testConfig()
+	cfg.SessionID = session
+
+	dst, err := fsim.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := persistV1Session(t, dst, session, cfg, m)
+	// Relocate the document to the flat legacy path.
+	jsonPath := filepath.Join(dir, ".automdt", session, "ledger.json")
+	flatPath := filepath.Join(dir, ".automdt", session+".ledger")
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(flatPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Dir(jsonPath))
+
+	l, err := LoadSessionLedger(dst, session)
+	if err != nil || l.CommittedBytes() != committed {
+		t.Fatalf("flat-path ledger unreadable: %v (committed %d want %d)", err, l.CommittedBytes(), committed)
+	}
+	res, err := Loopback(context.Background(), cfg, m, src, dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resumed || res.SkippedBytes != committed {
+		t.Fatalf("flat-path resume failed: %+v", res)
+	}
+	if _, err := os.Stat(flatPath); !os.IsNotExist(err) {
+		t.Fatalf("legacy flat ledger survived: %v", err)
+	}
+}

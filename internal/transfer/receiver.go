@@ -746,41 +746,33 @@ func (r *Receiver) runSession(parent context.Context, sess *rsession, ctrl *wire
 	ls, canPersist := r.Store.(fsim.LedgerStore)
 	resumable := canPersist && h.SessionID != "" && fsim.ValidSessionID(h.SessionID)
 	if resumable {
-		if data, err := ls.LoadLedger(session); err == nil {
-			old, derr := DecodeLedger(data)
-			if derr == nil && old.MatchesManifest(manifest) == nil && old.HasSums == h.Checksums {
-				if kept, _ := old.VerifyAgainst(r.Store); kept > 0 {
-					metrics.ResumeSessionInc()
-					metrics.ResumeSkippedAdd(kept)
-					sess.resumed = true
-				}
-				ledger = old
-				// The persisted ledger pins the session's chunk
-				// geometry: the Welcome advertises its chunk size and
-				// the sender plans with it, so a changed sender config
-				// cannot orphan the committed ranges.
-				chunkBytes = old.ChunkBytes
+		// LoadSessionLedger folds the append-only journal into the
+		// snapshot (a torn or generation-mismatched journal truncates
+		// to its last valid record) before anything is decided.
+		if old, derr := LoadSessionLedger(ls, session); derr == nil &&
+			old.MatchesManifest(manifest) == nil && old.HasSums == h.Checksums {
+			if kept, _ := old.VerifyAgainst(r.Store); kept > 0 {
+				metrics.ResumeSessionInc()
+				metrics.ResumeSkippedAdd(kept)
+				sess.resumed = true
 			}
+			ledger = old
+			// The persisted ledger pins the session's chunk
+			// geometry: the Welcome advertises its chunk size and
+			// the sender plans with it, so a changed sender config
+			// cannot orphan the committed ranges.
+			chunkBytes = old.ChunkBytes
 		}
 	}
 	sess.ledger.Store(ledger)
-	// sessionDone flips once the session completed and its ledger was
-	// removed; the deferred persist must not resurrect it. persistMu
-	// serializes writers (ticker, CRC-mismatch path, shutdown defer) so
-	// two saves can never interleave on the store's temp file.
-	var sessionDone atomic.Bool
-	var persistMu sync.Mutex
-	persist := func() {
-		persistMu.Lock()
-		defer persistMu.Unlock()
-		if !resumable || sessionDone.Load() || !ledger.takeDirty() {
-			return
-		}
-		if data, err := ledger.Encode(); err == nil {
-			ls.SaveLedger(session, data)
-		}
-	}
-	persist() // verification may have cleared ranges
+	// The persister owns all ledger writes for the session: journaled
+	// O(delta) appends per probe tick, compaction, and the final
+	// teardown persist. The opening compaction snapshots the
+	// verification-adjusted state, folds any replayed journal away, and
+	// migrates a v1 JSON document to the v2 binary layout in place.
+	persister := newLedgerPersister(ledger, r.Store, session, resumable, r.Cfg.LedgerCompactBytes)
+	persister.compact()
+	persist := persister.tick
 
 	if proto >= 1 {
 		if err := ctrl.Send(wire.Message{Welcome: &wire.Welcome{
@@ -1067,7 +1059,7 @@ func (r *Receiver) runSession(parent context.Context, sess *rsession, ctrl *wire
 		if unverified {
 			persist()
 		}
-		sessionDone.Store(true)
+		persister.markDone()
 		if resumable && !unverified {
 			ls.RemoveLedger(session)
 		}

@@ -39,14 +39,11 @@ func corruptStoreFile(t *testing.T, root, name string, off int64) {
 	}
 }
 
-// loadSessionLedger reads the persisted ledger straight from the store.
+// loadSessionLedger reads the persisted ledger (snapshot + journal)
+// straight from the store.
 func loadSessionLedger(t *testing.T, ls fsim.LedgerStore, session string) *Ledger {
 	t.Helper()
-	data, err := ls.LoadLedger(session)
-	if err != nil {
-		t.Fatal(err)
-	}
-	l, err := DecodeLedger(data)
+	l, err := LoadSessionLedger(ls, session)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +90,9 @@ func TestResumeAfterReceiverKill(t *testing.T) {
 	go func() {
 		deadline := time.Now().Add(15 * time.Second)
 		for time.Now().Before(deadline) {
-			if data, err := dst1.LoadLedger(session); err == nil {
-				if l, err := DecodeLedger(data); err == nil && l.CommittedBytes() > total/4 {
-					rcancel() // kill the receiver process mid-transfer
-					return
-				}
+			if l, err := LoadSessionLedger(dst1, session); err == nil && l.CommittedBytes() > total/4 {
+				rcancel() // kill the receiver process mid-transfer
+				return
 			}
 			time.Sleep(5 * time.Millisecond)
 		}
@@ -192,11 +187,9 @@ func TestResumeRevalidatesCorruptRegion(t *testing.T) {
 	go func() {
 		deadline := time.Now().Add(15 * time.Second)
 		for time.Now().Before(deadline) {
-			if data, err := dst1.LoadLedger(session); err == nil {
-				if l, err := DecodeLedger(data); err == nil && l.FileCommitted(0) >= 3*int64(cfg.ChunkBytes) {
-					rcancel()
-					return
-				}
+			if l, err := LoadSessionLedger(dst1, session); err == nil && l.FileCommitted(0) >= 3*int64(cfg.ChunkBytes) {
+				rcancel()
+				return
 			}
 			time.Sleep(5 * time.Millisecond)
 		}
