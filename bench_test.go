@@ -222,6 +222,10 @@ func BenchmarkEngineLoopbackE2E(b *testing.B) { enginebench.LoopbackE2E(true, tr
 // verification disabled, isolating the CRC-32C cost.
 func BenchmarkEngineLoopbackE2ENoCRC(b *testing.B) { enginebench.LoopbackE2E(true, false)(b) }
 
+// BenchmarkEngineLoopbackE2EFlight is the same lifecycle with the
+// decision flight recorder enabled, isolating the stage-span cost.
+func BenchmarkEngineLoopbackE2EFlight(b *testing.B) { enginebench.LoopbackE2EFlight(true)(b) }
+
 // BenchmarkEngineLedgerTickV1 measures one steady-state probe-tick
 // persist of the quick-scale session ledger as a schema-1 full-document
 // rewrite (O(chunks) per tick).

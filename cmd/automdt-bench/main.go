@@ -28,6 +28,7 @@ import (
 
 	"automdt/internal/enginebench"
 	"automdt/internal/experiments"
+	"automdt/internal/flight"
 	"automdt/internal/metrics"
 )
 
@@ -39,7 +40,13 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "file to write the engine benchmark report (engine experiment)")
 	baseline := flag.String("baseline", "", "baseline report to gate the engine benchmarks against")
 	benchTol := flag.Float64("bench-tolerance", 0.20, "allowed fractional regression before the baseline gate fails")
+	flightTol := flag.Float64("flight-overhead-tolerance", 0.05, "allowed fractional loopback_e2e slowdown with the flight recorder on, measured within the run (0 disables the check)")
+	flightPath := flag.String("flight", "", "enable the decision flight recorder for the run and dump the trace to this file (\"-\" for stdout; analyze with flightdump)")
 	flag.Parse()
+
+	if *flightPath != "" {
+		flight.Enable(0)
+	}
 
 	mode := experiments.Quick
 	if *modeStr == "paper" {
@@ -210,6 +217,22 @@ func main() {
 				snap.Add("bench_engine_persisted_bytes_per_op", r.PersistedBytesPerOp, metrics.L("bench", r.Name))
 			}
 		}
+		if frac, ok := enginebench.FlightOverhead(rep); ok {
+			if *flightTol > 0 && frac > *flightTol {
+				// A single pairing carries several percent of scheduling
+				// noise; re-measure before failing the run on it.
+				fmt.Printf("[flight recorder overhead %+.1f%% above tolerance; re-measuring]\n", 100*frac)
+				if re, ok2 := enginebench.MeasureFlightOverhead(mode == experiments.Quick, 2); ok2 && re < frac {
+					frac = re
+				}
+			}
+			fmt.Printf("[flight recorder overhead on loopback_e2e: %+.1f%%]\n", 100*frac)
+			snap.Add("bench_engine_flight_overhead_frac", frac)
+			if *flightTol > 0 && frac > *flightTol {
+				return fmt.Errorf("flight recorder overhead %.1f%% exceeds %.0f%% on loopback_e2e",
+					100*frac, *flightTol*100)
+			}
+		}
 		if *benchJSON != "" {
 			data, err := json.MarshalIndent(rep, "", "  ")
 			if err != nil {
@@ -257,5 +280,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("[wrote %s]\n", *metricsPath)
+	}
+	if *flightPath != "" {
+		if err := flight.Default().WriteTrace(*flightPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *flightPath != "-" {
+			fmt.Printf("[wrote %s]\n", *flightPath)
+		}
 	}
 }

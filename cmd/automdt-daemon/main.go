@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // handlers gated behind -pprof; see below
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,6 +35,7 @@ import (
 
 	"automdt/internal/core"
 	"automdt/internal/env"
+	"automdt/internal/flight"
 	"automdt/internal/marlin"
 	"automdt/internal/probe"
 	"automdt/internal/rl"
@@ -60,7 +62,14 @@ func main() {
 	model := flag.String("model", "", "automdt agent checkpoint (from automdt-train)")
 	profilePath := flag.String("profile", "", "automdt probed profile JSON (from automdt-train)")
 	maxThreads := flag.Int("maxthreads", 32, "per-stage concurrency bound for automdt")
+	flightOn := flag.Bool("flight", false, "enable the decision flight recorder (dump at GET /debug/flight)")
+	flightCap := flag.Int("flight-capacity", 0, "flight ring capacity per source (0 = default)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the HTTP listener")
 	flag.Parse()
+
+	if *flightOn {
+		flight.Enable(*flightCap)
+	}
 
 	var newController func() env.Controller
 	switch *opt {
@@ -126,9 +135,19 @@ func main() {
 		fmt.Printf("automdt-daemon: shared endpoint serving data %s, control %s\n", data, ctrl)
 	}
 
+	handler := sched.NewHandler(s)
+	if *pprofOn {
+		// The pprof handlers register themselves on http.DefaultServeMux
+		// at import; route /debug/pprof/ there and everything else to the
+		// scheduler API, so profiling stays off unless asked for.
+		mux := http.NewServeMux()
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		mux.Handle("/", handler)
+		handler = mux
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           sched.NewHandler(s),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Printf("automdt-daemon: listening on %s (budget r/n/w = %d/%d/%d, max active %d, optimizer %s)\n",

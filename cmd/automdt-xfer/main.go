@@ -43,6 +43,7 @@ import (
 
 	"automdt/internal/core"
 	"automdt/internal/env"
+	"automdt/internal/flight"
 	"automdt/internal/fsim"
 	"automdt/internal/marlin"
 	"automdt/internal/probe"
@@ -185,9 +186,13 @@ func send(args []string) {
 	cc := fs.Int("cc", 4, "static concurrency")
 	model := fs.String("model", "", "automdt agent checkpoint (from automdt-train)")
 	profilePath := fs.String("profile", "", "automdt probed profile JSON (from automdt-train)")
+	flightPath := fs.String("flight", "", "record the decision flight trace and dump it to this file after the run (\"-\" for stdout; analyze with flightdump)")
 	cfg := engineConfig(fs)
 	fs.StringVar(&cfg.SessionID, "session", "", "resumable session id (re-run with the same id to resume; receiver needs -dir)")
 	fs.Parse(args)
+	if *flightPath != "" {
+		flight.Enable(0)
+	}
 
 	var store fsim.Store
 	var manifest workload.Manifest
@@ -249,6 +254,15 @@ func send(args []string) {
 	fmt.Printf("sending %d files (%d bytes) via %s optimizer...\n",
 		len(manifest), manifest.TotalBytes(), *opt)
 	res, err := s.Run(context.Background(), *data, *ctrl)
+	if *flightPath != "" {
+		// Dump even on failure: an aborted run's trace is exactly when the
+		// decision record matters.
+		if derr := flight.Default().WriteTrace(*flightPath); derr != nil {
+			fmt.Fprintln(os.Stderr, derr)
+		} else if *flightPath != "-" {
+			fmt.Printf("flight trace written to %s\n", *flightPath)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}

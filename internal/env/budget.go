@@ -19,8 +19,9 @@ import "sync"
 type BudgetCap struct {
 	inner Controller
 
-	mu  sync.Mutex
-	cap [3]int
+	mu      sync.Mutex
+	cap     [3]int
+	onClamp func(s State, wanted, got Action, caps [3]int)
 }
 
 // NewBudgetCap wraps inner with the given initial per-stage caps. Caps
@@ -43,6 +44,16 @@ func (b *BudgetCap) SetCap(caps [3]int) {
 	b.mu.Lock()
 	b.cap = caps
 	b.mu.Unlock()
+}
+
+// OnClamp installs a callback invoked (from Decide's caller goroutine)
+// whenever the cap actually binds — the inner decision wanted more
+// workers than the budget allowed. The scheduler uses it to record
+// arbiter-starvation evidence in the flight recorder without env
+// depending on that package. Pass nil to remove. Apply-before-first-use:
+// installing it concurrently with Decide is not synchronized.
+func (b *BudgetCap) OnClamp(fn func(s State, wanted, got Action, caps [3]int)) {
+	b.onClamp = fn
 }
 
 // Cap returns the current per-stage caps.
@@ -70,13 +81,19 @@ func (b *BudgetCap) Decide(s State) Action {
 		a = Action{Threads: s.Threads}
 	}
 	caps := b.Cap()
+	wanted := a
+	clamped := false
 	for i := range a.Threads {
 		if a.Threads[i] < 1 {
 			a.Threads[i] = 1
 		}
 		if a.Threads[i] > caps[i] {
 			a.Threads[i] = caps[i]
+			clamped = true
 		}
+	}
+	if clamped && b.onClamp != nil {
+		b.onClamp(s, wanted, a, caps)
 	}
 	return a
 }

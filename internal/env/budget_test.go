@@ -51,6 +51,49 @@ func TestBudgetCapName(t *testing.T) {
 	}
 }
 
+func TestBudgetCapOnClampFiresOnlyWhenCapBinds(t *testing.T) {
+	b := NewBudgetCap(wantAll{n: 9}, [3]int{4, 20, 20})
+	var calls int
+	var gotWanted, gotGot Action
+	var gotCaps [3]int
+	b.OnClamp(func(s State, wanted, got Action, caps [3]int) {
+		calls++
+		gotWanted, gotGot, gotCaps = wanted, got, caps
+	})
+	st := State{Threads: [3]int{1, 1, 1}}
+	b.Decide(st)
+	if calls != 1 {
+		t.Fatalf("calls=%d, want 1", calls)
+	}
+	if gotWanted.Threads != [3]int{9, 9, 9} {
+		t.Fatalf("wanted=%v", gotWanted.Threads)
+	}
+	if gotGot.Threads != [3]int{4, 9, 9} {
+		t.Fatalf("got=%v", gotGot.Threads)
+	}
+	if gotCaps != [3]int{4, 20, 20} {
+		t.Fatalf("caps=%v", gotCaps)
+	}
+	// Raise the cap above the demand: the callback must stay silent.
+	b.SetCap([3]int{20, 20, 20})
+	b.Decide(st)
+	if calls != 1 {
+		t.Fatalf("unclamped decision fired the callback (calls=%d)", calls)
+	}
+	// The <1 floor is not a budget clamp: a controller asking for zero
+	// workers is floored, but that is not arbiter starvation.
+	floored := NewBudgetCap(wantAll{n: 0}, [3]int{8, 8, 8})
+	floored.OnClamp(func(State, Action, Action, [3]int) { t.Fatal("floor fired OnClamp") })
+	floored.Decide(st)
+	// Removing the callback stops delivery.
+	b.SetCap([3]int{1, 1, 1})
+	b.OnClamp(nil)
+	b.Decide(st)
+	if calls != 1 {
+		t.Fatalf("removed callback still fired (calls=%d)", calls)
+	}
+}
+
 // TestBudgetCapConcurrent exercises SetCap racing Decide under -race.
 func TestBudgetCapConcurrent(t *testing.T) {
 	b := NewBudgetCap(wantAll{n: 32}, [3]int{1, 1, 1})

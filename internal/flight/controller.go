@@ -1,0 +1,145 @@
+package flight
+
+import (
+	"sort"
+	"time"
+
+	"automdt/internal/env"
+)
+
+// DefaultTopK is how many unchosen alternatives a decision event keeps.
+const DefaultTopK = 3
+
+// instrumented wraps an env.Controller so every Decide tick emits a
+// decision event: the chosen tuple, the top-K alternatives with their
+// counterfactual scores, and the regret against the best unchosen
+// candidate. It is installed only when the recorder is active (the
+// Active check happens once at wrap time, not per tick), so an idle
+// recorder costs the engine nothing.
+type instrumented struct {
+	inner  env.Controller
+	rec    *Recorder
+	source string
+	k      float64
+	topK   int
+
+	cum float64 // cumulative regret across this source's trace
+	now func() time.Time
+}
+
+// WrapController returns inner instrumented to record each decision into
+// rec under the given source. k is the utility penalty base (DefaultK if
+// <= 0) used to score counterfactual candidates; topK bounds the
+// alternatives kept per event (DefaultTopK if <= 0).
+//
+// If the source already has trace events — a resumed attempt of the same
+// session appends to the same ring — the wrapper continues the prior
+// attempt's cumulative regret instead of starting from zero, which is
+// what makes a multi-attempt session read as one episode.
+func WrapController(inner env.Controller, rec *Recorder, source string, k float64, topK int) env.Controller {
+	if inner == nil || rec == nil {
+		return inner
+	}
+	if k <= 0 {
+		k = env.DefaultK
+	}
+	if topK <= 0 {
+		topK = DefaultTopK
+	}
+	w := &instrumented{inner: inner, rec: rec, source: source, k: k, topK: topK, now: time.Now}
+	if last, ok := rec.Last(source); ok {
+		w.cum = last.CumRegret
+	}
+	return w
+}
+
+// Name implements env.Controller, passing the inner name through so
+// experiment reports are unchanged by instrumentation.
+func (w *instrumented) Name() string { return w.inner.Name() }
+
+// Decide implements env.Controller.
+func (w *instrumented) Decide(s env.State) env.Action {
+	chosen := w.inner.Decide(s)
+	if !w.rec.Active() {
+		return chosen
+	}
+
+	cands := w.candidates(s, chosen)
+	chosenScore := Utility(s, chosen.Threads, w.k)
+	best := chosenScore
+	alts := make([]Alt, 0, len(cands))
+	for _, c := range cands {
+		if c.Action.Threads == chosen.Threads {
+			// The chosen action may appear among the self-reported
+			// candidates under the controller's own score; keep the
+			// counterfactual score for regret consistency.
+			continue
+		}
+		alts = append(alts, Alt{Threads: c.Action.Threads, Score: c.Score, Label: c.Label})
+		if c.Score > best {
+			best = c.Score
+		}
+	}
+	sort.SliceStable(alts, func(i, j int) bool { return alts[i].Score > alts[j].Score })
+	if len(alts) > w.topK {
+		alts = alts[:w.topK]
+	}
+	regret := best - chosenScore
+	if regret < 0 {
+		regret = 0
+	}
+	w.cum += regret
+	w.rec.Record(Event{
+		UnixNano:   w.now().UnixNano(),
+		Source:     w.source,
+		Kind:       KindDecision,
+		Threads:    s.Threads,
+		Throughput: s.Throughput,
+		Chosen:     Alt{Threads: chosen.Threads, Score: chosenScore},
+		Alts:       alts,
+		Regret:     regret,
+		CumRegret:  w.cum,
+		Note:       w.inner.Name(),
+	})
+	return chosen
+}
+
+// candidates collects the alternatives to score against the chosen
+// action. Controllers that implement env.AlternativeScorer report the
+// moves they actually weighed, rescored counterfactually so every
+// candidate in one event shares a scale; everything else gets generic
+// neighbors — hold, plus ±1 on each stage — scored by the same one-step
+// counterfactual utility.
+func (w *instrumented) candidates(s env.State, chosen env.Action) []env.ScoredAction {
+	if as, ok := w.inner.(env.AlternativeScorer); ok {
+		if cands := as.ScoredAlternatives(s); len(cands) > 0 {
+			for i := range cands {
+				cands[i].Score = Utility(s, cands[i].Action.Threads, w.k)
+			}
+			return cands
+		}
+	}
+	cands := make([]env.ScoredAction, 0, 7)
+	add := func(t [3]int, label string) {
+		for i := range t {
+			if t[i] < 1 {
+				return
+			}
+		}
+		cands = append(cands, env.ScoredAction{
+			Action: env.Action{Threads: t},
+			Score:  Utility(s, t, w.k),
+			Label:  label,
+		})
+	}
+	add(s.Threads, "hold")
+	stages := [3]string{"read", "net", "write"}
+	for i := 0; i < 3; i++ {
+		up, down := chosen.Threads, chosen.Threads
+		up[i]++
+		down[i]--
+		add(up, stages[i]+"+1")
+		add(down, stages[i]+"-1")
+	}
+	return cands
+}

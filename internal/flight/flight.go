@@ -1,0 +1,385 @@
+// Package flight is the decision flight recorder: a lock-cheap,
+// ring-buffered structured event log of every decision the transfer
+// system makes, with the alternatives each decision scored and a
+// counterfactual regret metric, plus per-stage latency histograms at the
+// pipeline seams.
+//
+// Two event families flow through one Recorder:
+//
+//   - Decision events. Every env.Controller tick (marlin, joint-gd,
+//     static, the trained AutoMDT policy), every scheduler admission and
+//     rebalance, and every budget-cap clamp records the chosen action,
+//     the top-K alternatives with their counterfactual scores, and the
+//     regret (best unchosen score minus chosen score). "Fleet P99 was
+//     bad" becomes "the arbiter starved job 7 at tick 5000".
+//
+//   - Stage spans. The read/net/write stage seams in internal/transfer
+//     and the queue wait in internal/sched time their per-chunk service
+//     into log-bucketed metrics.Histogram aggregates, exported as
+//     automdt_*_seconds{quantile} samples.
+//
+// The recorder is genuinely zero work when off: every entry point first
+// loads one atomic flag and returns before any event is built, any clock
+// is read, or any lock is taken. Rings are per source, so concurrent
+// writers (one per live session plus the scheduler) rarely contend, and
+// a full ring overwrites its oldest events rather than blocking or
+// growing.
+//
+// Ring tails double as the substrate for controller warm start on
+// resume: a retried attempt of the same session appends to the same ring
+// (sources are keyed by session), so the new attempt's wrapper continues
+// the previous attempt's cumulative regret and the offline trainer
+// (internal/rl) can fold the whole multi-attempt trace into one episode.
+package flight
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"automdt/internal/env"
+	"automdt/internal/metrics"
+)
+
+// Event kinds.
+const (
+	// KindDecision is one controller Decide tick.
+	KindDecision = "decision"
+	// KindAdmission is the scheduler starting one queued job.
+	KindAdmission = "admission"
+	// KindRebalance is one arbiter budget split across active jobs.
+	KindRebalance = "rebalance"
+	// KindCap is a budget cap clamping a controller's decision.
+	KindCap = "cap"
+)
+
+// Alt is one scored candidate action. For controller decisions the score
+// is the counterfactual utility U = Σ tᵢ/k^{nᵢ} of holding the observed
+// per-stage throughput at the candidate concurrency; for arbiter events
+// it is the weighted proportional-fairness objective of the candidate
+// allocation.
+type Alt struct {
+	// Threads is the candidate concurrency tuple (decision/cap events).
+	Threads [3]int `json:"threads"`
+	// Score is the candidate's counterfactual score (higher is better).
+	Score float64 `json:"score"`
+	// Label names non-tuple candidates (arbiter allocation policies).
+	Label string `json:"label,omitempty"`
+}
+
+// Event is one recorded decision. Events are JSON-shaped for the
+// /debug/flight endpoint and the -flight trace dumps.
+type Event struct {
+	// Seq is the per-source sequence number (monotonic from 1; gaps mean
+	// the ring overwrote evicted events).
+	Seq uint64 `json:"seq"`
+	// UnixNano is the wall-clock timestamp.
+	UnixNano int64 `json:"t"`
+	// Source names the decider, e.g. "ctrl:job3-ab12cd:marlin" or
+	// "sched:arbiter".
+	Source string `json:"source"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Threads and Throughput are the observed state the decision saw.
+	Threads    [3]int     `json:"state_threads,omitempty"`
+	Throughput [3]float64 `json:"state_throughput,omitempty"`
+	// Chosen is the action taken, with its counterfactual score.
+	Chosen Alt `json:"chosen"`
+	// Alts are the top-K unchosen alternatives, best first.
+	Alts []Alt `json:"alts,omitempty"`
+	// Regret is max(0, best unchosen score − chosen score): how much
+	// better the best alternative looked under the same counterfactual
+	// scoring.
+	Regret float64 `json:"regret"`
+	// CumRegret is the source's regret accumulated over its whole trace
+	// (continued across resumed attempts of the same session).
+	CumRegret float64 `json:"cum_regret"`
+	// Note carries decision-specific context (job ids, queue wait,
+	// allocation summaries).
+	Note string `json:"note,omitempty"`
+}
+
+// ring is one source's fixed-capacity event buffer.
+type ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever appended; Seq = next after increment
+}
+
+func (r *ring) append(ev Event) (seq uint64, dropped bool) {
+	r.mu.Lock()
+	r.next++
+	ev.Seq = r.next
+	i := int((r.next - 1) % uint64(cap(r.buf)))
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[i] = ev
+		dropped = true
+	}
+	r.mu.Unlock()
+	return ev.Seq, dropped
+}
+
+// events returns the ring's live events with Seq >= since, in order.
+func (r *ring) events(since uint64) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) == 0 {
+		return out
+	}
+	// Oldest live event starts at next-len(buf)+1; the buffer wraps at
+	// cap, so walk seq order rather than slice order.
+	first := r.next - uint64(len(r.buf)) + 1
+	for seq := first; seq <= r.next; seq++ {
+		if seq < since {
+			continue
+		}
+		out = append(out, r.buf[int((seq-1)%uint64(cap(r.buf)))])
+	}
+	return out
+}
+
+// last returns the most recent event, if any.
+func (r *ring) last() (Event, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) == 0 {
+		return Event{}, false
+	}
+	return r.buf[int((r.next-1)%uint64(cap(r.buf)))], true
+}
+
+// DefaultCapacity is the per-source ring capacity used when Enable is
+// called with a non-positive capacity: at the engine's default 250 ms
+// probe interval this holds about 17 minutes of controller decisions.
+const DefaultCapacity = 4096
+
+// Recorder is a set of per-source event rings behind one atomic enabled
+// flag, plus the stage-latency histograms. The zero value is a disabled
+// recorder; most callers use the process-wide Default().
+type Recorder struct {
+	enabled atomic.Bool
+	rcap    atomic.Int64
+
+	mu      sync.RWMutex
+	sources map[string]*ring
+	hists   map[string]*metrics.Histogram
+	horder  []string
+
+	recorded atomic.Int64
+	dropped  atomic.Int64
+}
+
+// NewRecorder creates a disabled recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		sources: make(map[string]*ring),
+		hists:   make(map[string]*metrics.Histogram),
+	}
+}
+
+// Enable turns recording on with the given per-source ring capacity
+// (DefaultCapacity when n <= 0). Already-recorded events are kept;
+// changing the capacity applies to rings created afterwards.
+func (r *Recorder) Enable(n int) {
+	if n <= 0 {
+		n = DefaultCapacity
+	}
+	r.rcap.Store(int64(n))
+	r.enabled.Store(true)
+}
+
+// Disable turns recording off. Events already recorded remain readable.
+func (r *Recorder) Disable() { r.enabled.Store(false) }
+
+// Active reports whether the recorder accepts events — the one-atomic
+// check every instrumentation point makes before doing any work.
+func (r *Recorder) Active() bool { return r.enabled.Load() }
+
+// Record appends ev to its source's ring, assigning the sequence number.
+// It is a no-op when the recorder is off. Callers on hot paths should
+// check Active before building the event at all.
+func (r *Recorder) Record(ev Event) {
+	if !r.enabled.Load() || ev.Source == "" {
+		return
+	}
+	r.mu.RLock()
+	rg := r.sources[ev.Source]
+	r.mu.RUnlock()
+	if rg == nil {
+		r.mu.Lock()
+		rg = r.sources[ev.Source]
+		if rg == nil {
+			rg = &ring{buf: make([]Event, 0, int(r.rcap.Load()))}
+			r.sources[ev.Source] = rg
+		}
+		r.mu.Unlock()
+	}
+	if _, dropped := rg.append(ev); dropped {
+		r.dropped.Add(1)
+	}
+	r.recorded.Add(1)
+}
+
+// Sources returns the recorded source names, sorted.
+func (r *Recorder) Sources() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.sources))
+	for s := range r.sources {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump returns the live events of one source (or of every source when
+// source is empty), restricted to Seq >= since, grouped by source in
+// sorted-source order and in sequence order within each source.
+func (r *Recorder) Dump(source string, since uint64) []Event {
+	if source != "" {
+		r.mu.RLock()
+		rg := r.sources[source]
+		r.mu.RUnlock()
+		if rg == nil {
+			return nil
+		}
+		return rg.events(since)
+	}
+	var out []Event
+	for _, s := range r.Sources() {
+		r.mu.RLock()
+		rg := r.sources[s]
+		r.mu.RUnlock()
+		if rg != nil {
+			out = append(out, rg.events(since)...)
+		}
+	}
+	return out
+}
+
+// Tail returns the last n events of a source (fewer if the ring holds
+// fewer). n <= 0 returns nil. This is the resume warm-start read path: a
+// retried session's controller seeds itself from the prior attempt's
+// trace tail.
+func (r *Recorder) Tail(source string, n int) []Event {
+	if n <= 0 {
+		return nil
+	}
+	r.mu.RLock()
+	rg := r.sources[source]
+	r.mu.RUnlock()
+	if rg == nil {
+		return nil
+	}
+	evs := rg.events(0)
+	if len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}
+
+// Last returns a source's most recent event.
+func (r *Recorder) Last(source string) (Event, bool) {
+	r.mu.RLock()
+	rg := r.sources[source]
+	r.mu.RUnlock()
+	if rg == nil {
+		return Event{}, false
+	}
+	return rg.last()
+}
+
+// Reset drops every recorded event and zeroes the stage histograms and
+// counters, keeping the enabled state.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.sources = make(map[string]*ring)
+	hists := make([]*metrics.Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+	for _, h := range hists {
+		h.Reset()
+	}
+	r.recorded.Store(0)
+	r.dropped.Store(0)
+}
+
+// Hist returns (creating if necessary) the named stage histogram.
+func (r *Recorder) Hist(stage string) *metrics.Histogram {
+	r.mu.RLock()
+	h := r.hists[stage]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[stage]; h == nil {
+		h = &metrics.Histogram{}
+		r.hists[stage] = h
+		r.horder = append(r.horder, stage)
+	}
+	return h
+}
+
+// MetricsSnapshot exports the recorder's counters and every stage
+// histogram in the shared text format: automdt_flight_* counters plus
+// one automdt_stage_<stage>_seconds{quantile} family per seam.
+func (r *Recorder) MetricsSnapshot() metrics.Snapshot {
+	var snap metrics.Snapshot
+	enabled := 0.0
+	if r.Active() {
+		enabled = 1
+	}
+	snap.Add("automdt_flight_enabled", enabled)
+	snap.Add("automdt_flight_events_total", float64(r.recorded.Load()))
+	snap.Add("automdt_flight_events_evicted_total", float64(r.dropped.Load()))
+	r.mu.RLock()
+	snap.Add("automdt_flight_sources", float64(len(r.sources)))
+	stages := append([]string(nil), r.horder...)
+	r.mu.RUnlock()
+	sort.Strings(stages)
+	for _, stage := range stages {
+		snap.AddHistogram("automdt_stage_"+stage+"_seconds", r.Hist(stage))
+	}
+	return snap
+}
+
+// defaultRecorder is the process-wide recorder that the transfer engine,
+// the scheduler, and the cmd binaries share — mirroring the process-wide
+// transfer arena and resume counters, so wiring a recorder through every
+// layer is not a config-plumbing exercise.
+var defaultRecorder = NewRecorder()
+
+// Default returns the process-wide recorder.
+func Default() *Recorder { return defaultRecorder }
+
+// Enable turns the process-wide recorder on (capacity <= 0 means
+// DefaultCapacity per source).
+func Enable(capacity int) { defaultRecorder.Enable(capacity) }
+
+// Disable turns the process-wide recorder off.
+func Disable() { defaultRecorder.Disable() }
+
+// Active reports whether the process-wide recorder accepts events.
+func Active() bool { return defaultRecorder.Active() }
+
+// Record appends to the process-wide recorder.
+func Record(ev Event) { defaultRecorder.Record(ev) }
+
+// Utility is the counterfactual score shared by decision instrumentation:
+// the paper's U = Σ tᵢ/k^{nᵢ} evaluated at the observed throughput and a
+// candidate concurrency. Holding throughput fixed is the one-step
+// counterfactual: "had we run candidate n instead, same flow, what would
+// the utility have been".
+func Utility(s env.State, threads [3]int, k float64) float64 {
+	if k <= 0 {
+		k = env.DefaultK
+	}
+	return env.Utility(s.Throughput, threads, k)
+}

@@ -1,0 +1,49 @@
+package flight
+
+import "time"
+
+// Stage names used at the pipeline seams. Histograms are created on
+// first observation, so only seams the process actually exercises appear
+// in the metrics export.
+const (
+	StageRead      = "read"       // sender: one chunk read off disk
+	StageNet       = "net"        // sender: one frame written to the wire
+	StageWrite     = "write"      // receiver: one chunk written to disk
+	StageQueueWait = "queue_wait" // sched: submit→start wait of one job
+)
+
+// StageStart returns the span start time, or the zero Time when the
+// recorder is off. The zero return is the whole off-path cost: one
+// atomic load, no clock read.
+func (r *Recorder) StageStart() time.Time {
+	if !r.enabled.Load() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// StageEnd records the elapsed time since start into the stage's
+// histogram. A zero start (recorder was off at StageStart) is a no-op,
+// so call sites are two unconditional lines around the staged work.
+func (r *Recorder) StageEnd(stage string, start time.Time) {
+	if start.IsZero() || !r.enabled.Load() {
+		return
+	}
+	r.Hist(stage).Observe(time.Since(start).Seconds())
+}
+
+// StageStart is StageStart on the process-wide recorder.
+func StageStart() time.Time { return defaultRecorder.StageStart() }
+
+// StageEnd is StageEnd on the process-wide recorder.
+func StageEnd(stage string, start time.Time) { defaultRecorder.StageEnd(stage, start) }
+
+// ObserveStage records an already-measured duration (seconds) into a
+// stage histogram — for seams that know the wait directly, like the
+// scheduler's submit→start queue time.
+func (r *Recorder) ObserveStage(stage string, seconds float64) {
+	if !r.enabled.Load() {
+		return
+	}
+	r.Hist(stage).Observe(seconds)
+}

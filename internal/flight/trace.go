@@ -1,0 +1,55 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Trace is the serialized form of a recorder dump: what GET /debug/flight
+// returns and what the cmd binaries' -flight flags write, so one file
+// format feeds flightdump, offline analysis, and internal/rl retraining.
+type Trace struct {
+	Enabled bool     `json:"enabled"`
+	Sources []string `json:"sources"`
+	Events  []Event  `json:"events"`
+}
+
+// DumpFile packages a filtered dump with the recorder's source list and
+// enabled state.
+func (r *Recorder) DumpFile(source string, since uint64) Trace {
+	return Trace{
+		Enabled: r.Active(),
+		Sources: r.Sources(),
+		Events:  r.Dump(source, since),
+	}
+}
+
+// WriteTrace dumps the recorder's full trace as indented JSON to path
+// ("-" for stdout).
+func (r *Recorder) WriteTrace(path string) error {
+	data, err := json.MarshalIndent(r.DumpFile("", 0), "", "  ")
+	if err != nil {
+		return fmt.Errorf("flight: encode trace: %w", err)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("flight: write trace: %w", err)
+	}
+	return nil
+}
+
+// ReadTrace parses a Trace previously written by WriteTrace or fetched
+// from /debug/flight.
+func ReadTrace(rd io.Reader) (Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(rd).Decode(&t); err != nil {
+		return Trace{}, fmt.Errorf("flight: decode trace: %w", err)
+	}
+	return t, nil
+}

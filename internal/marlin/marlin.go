@@ -140,6 +140,39 @@ func (o *Optimizer) Decide(s env.State) env.Action {
 	return a.Clamp(1 << 30) // engine clamps to its own MaxThreads
 }
 
+// ScoredAlternatives implements env.AlternativeScorer: the counter-moves
+// each hill climber weighed against its chosen direction — holding the
+// current tuple, and reversing any stage's current direction — scored by
+// the same utility the climbers maximize. Call after Decide for the same
+// state; the directions reflect the latest gradient estimates.
+func (o *Optimizer) ScoredAlternatives(s env.State) []env.ScoredAction {
+	k := o.k()
+	out := make([]env.ScoredAction, 0, 4)
+	out = append(out, env.ScoredAction{
+		Action: env.Action{Threads: s.Threads},
+		Score:  env.Utility(s.Throughput, s.Threads, k),
+		Label:  "hold",
+	})
+	names := [3]string{"read", "net", "write"}
+	for i := 0; i < 3; i++ {
+		st := o.stages[i]
+		if !st.haveObs || st.dir == 0 || st.step == 0 {
+			continue
+		}
+		t := s.Threads
+		t[i] -= st.dir * st.step
+		if t[i] < 1 {
+			continue
+		}
+		out = append(out, env.ScoredAction{
+			Action: env.Action{Threads: t},
+			Score:  env.Utility(s.Throughput, t, k),
+			Label:  "reverse:" + names[i],
+		})
+	}
+	return out
+}
+
 // Reset clears optimizer state so the instance can drive a fresh run.
 func (o *Optimizer) Reset() {
 	o.stages = [3]stageState{}

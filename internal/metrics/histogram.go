@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a lock-free, log-bucketed latency histogram in the HDR
+// style: buckets grow geometrically (histSubBuckets per power of two), so
+// relative error is bounded (<≈19% per bucket) across nine decades while
+// the whole structure stays a fixed few hundred atomic counters. Observe
+// is a single atomic increment plus two float adds — cheap enough for the
+// transfer data path to call per chunk — and readers (Quantile, Export)
+// never block writers.
+//
+// The flight recorder uses one Histogram per pipeline stage seam
+// (read/net/write service time, scheduler queue wait), exported as
+// `<name>{quantile="..."}` samples in the Snapshot text format.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+const (
+	// histMin is the smallest distinguishable value in seconds (1 µs);
+	// everything below lands in bucket 0.
+	histMin = 1e-6
+	// histSubBuckets is the resolution per octave: 8 sub-buckets ≈ 9%
+	// worst-case relative quantile error.
+	histSubBuckets = 8
+	// histOctaves spans histMin..histMin*2^27 ≈ 134 s; larger values
+	// clamp into the last bucket.
+	histOctaves = 27
+	histBuckets = histOctaves*histSubBuckets + 1
+)
+
+// histIndex maps a value in seconds to its bucket.
+func histIndex(v float64) int {
+	if v <= histMin {
+		return 0
+	}
+	i := int(math.Log2(v/histMin) * histSubBuckets)
+	if i >= histBuckets-1 {
+		return histBuckets - 1
+	}
+	return i + 1
+}
+
+// histValue returns the representative (upper-bound) value of a bucket.
+func histValue(i int) float64 {
+	if i == 0 {
+		return histMin
+	}
+	return histMin * math.Exp2(float64(i)/histSubBuckets)
+}
+
+// Observe records one value (seconds). Negative values count as zero.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observed values in seconds.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile returns the q-quantile (0..1) as the upper bound of the bucket
+// the rank falls in, or 0 for an empty histogram. Concurrent Observes may
+// shift the result by at most the in-flight samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return histValue(i)
+		}
+	}
+	return histValue(histBuckets - 1)
+}
+
+// Reset zeroes the histogram. Not atomic against concurrent Observes:
+// samples landing mid-reset may survive or vanish, which is acceptable
+// for the debug/trace use this serves.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// histQuantiles are the quantiles exported for every histogram.
+var histQuantiles = []struct {
+	q     float64
+	label string
+}{{0.50, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}}
+
+// AddHistogram appends a histogram's samples in the Prometheus summary
+// style: `name{quantile="0.5"}`, plus name_count and name_sum.
+func (s *Snapshot) AddHistogram(name string, h *Histogram, labels ...Label) {
+	for _, q := range histQuantiles {
+		ql := append(append([]Label(nil), labels...), L("quantile", q.label))
+		s.Add(name, h.Quantile(q.q), ql...)
+	}
+	s.Add(name+"_count", float64(h.Count()), labels...)
+	s.Add(name+"_sum", h.Sum(), labels...)
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("empty histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile=%v, want 0", q)
+	}
+}
+
+func TestHistogramObserveAndSum(t *testing.T) {
+	var h Histogram
+	vals := []float64{0.001, 0.002, 0.010, 0.100, 1.5}
+	want := 0.0
+	for _, v := range vals {
+		h.Observe(v)
+		want += v
+	}
+	if h.Count() != int64(len(vals)) {
+		t.Fatalf("count=%d", h.Count())
+	}
+	if math.Abs(h.Sum()-want) > 1e-12 {
+		t.Fatalf("sum=%v, want %v", h.Sum(), want)
+	}
+}
+
+func TestHistogramQuantileBoundedError(t *testing.T) {
+	// Log bucketing guarantees each quantile comes back as its bucket's
+	// upper bound: never below the true value, and within one sub-bucket
+	// ratio (2^{1/8} ≈ 9%) above it.
+	var h Histogram
+	const n = 1000
+	for i := 1; i <= n; i++ {
+		h.Observe(float64(i) * 1e-3) // 1 ms .. 1 s uniform
+	}
+	ratio := math.Exp2(1.0 / histSubBuckets)
+	for _, tc := range []struct{ q, truth float64 }{
+		{0.50, 0.500},
+		{0.95, 0.950},
+		{0.99, 0.990},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.truth*0.999 || got > tc.truth*ratio*1.001 {
+			t.Fatalf("q%.2f=%v, want within [%v, %v]", tc.q, got, tc.truth, tc.truth*ratio)
+		}
+	}
+}
+
+func TestHistogramClampsExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)   // negative counts as zero
+	h.Observe(1e-9) // below histMin → bucket 0
+	h.Observe(1e6)  // far beyond the last octave → last bucket
+	if h.Count() != 3 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	if q := h.Quantile(0.01); q != histMin {
+		t.Fatalf("low quantile=%v, want histMin %v", q, histMin)
+	}
+	if q := h.Quantile(1.0); q != histValue(histBuckets-1) {
+		t.Fatalf("max quantile=%v, want last bucket %v", q, histValue(histBuckets-1))
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(0.5)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("lost observations: %d", h.Count())
+	}
+	if math.Abs(h.Sum()-workers*per*0.001) > 1e-6 {
+		t.Fatalf("CAS sum lost updates: %v", h.Sum())
+	}
+}
+
+func TestSnapshotAddHistogram(t *testing.T) {
+	var h Histogram
+	h.Observe(0.010)
+	h.Observe(0.020)
+	var snap Snapshot
+	snap.AddHistogram("automdt_stage_read_seconds", &h, L("stage", "read"))
+	text := snap.Text()
+	for _, want := range []string{
+		`automdt_stage_read_seconds{stage="read",quantile="0.5"}`,
+		`automdt_stage_read_seconds{stage="read",quantile="0.95"}`,
+		`automdt_stage_read_seconds{stage="read",quantile="0.99"}`,
+		`automdt_stage_read_seconds_count{stage="read"} 2`,
+		`automdt_stage_read_seconds_sum{stage="read"} 0.03`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("snapshot missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -93,6 +93,7 @@ type Summary struct {
 	Mean, Std float64
 	Min, Max  float64
 	P50, P95  float64
+	P99       float64
 }
 
 // Summarize computes descriptive statistics over vs.
@@ -116,6 +117,7 @@ func Summarize(vs []float64) Summary {
 	sort.Float64s(sorted)
 	s.P50 = quantile(sorted, 0.50)
 	s.P95 = quantile(sorted, 0.95)
+	s.P99 = quantile(sorted, 0.99)
 	return s
 }
 
@@ -236,7 +238,9 @@ func (r *Recorder) CSV() string {
 			if row < len(c) {
 				fmt.Fprintf(&b, ",%.4f", c[row].V)
 			} else {
-				b.WriteString(",")
+				// An explicit NaN keeps every row the same width; a bare
+				// trailing comma reads as a ragged row to strict parsers.
+				b.WriteString(",NaN")
 			}
 		}
 		b.WriteByte('\n')

@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"encoding/csv"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -128,6 +130,60 @@ func TestRecorderCSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[2], "1.000,2.0000,") {
 		t.Fatalf("row 2=%q", lines[2])
+	}
+}
+
+func TestSummarizeP99(t *testing.T) {
+	vs := make([]float64, 101) // 0..100: P99 interpolates exactly to 99
+	for i := range vs {
+		vs[i] = float64(i)
+	}
+	sm := Summarize(vs)
+	if sm.P99 != 99 {
+		t.Fatalf("P99=%v, want 99", sm.P99)
+	}
+	if sm.P95 != 95 {
+		t.Fatalf("P95=%v, want 95", sm.P95)
+	}
+	if Summarize(nil).P99 != 0 {
+		t.Fatal("empty P99 should be 0")
+	}
+}
+
+func TestRecorderCSVRaggedRoundTrip(t *testing.T) {
+	// Series of different lengths: every row must still have the full
+	// column count, with explicit NaN filling the short columns, and the
+	// output must round-trip through a strict CSV parser.
+	r := NewRecorder()
+	r.Series("x").Record(0, 1)
+	r.Series("x").Record(1, 2)
+	r.Series("x").Record(2, 3)
+	r.Series("y").Record(0, 9)
+	rows, err := csv.NewReader(strings.NewReader(r.CSV())).ReadAll()
+	if err != nil {
+		t.Fatalf("strict CSV parse failed: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows=%d, want header+3", len(rows))
+	}
+	for i, row := range rows {
+		if len(row) != 3 {
+			t.Fatalf("row %d has %d fields, want 3: %v", i, len(row), row)
+		}
+	}
+	// Rows 2 and 3 have no y sample: the cell must parse as NaN, not be
+	// an empty string.
+	for _, row := range rows[2:] {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("missing cell %q does not parse as a float: %v", row[2], err)
+		}
+		if !math.IsNaN(v) {
+			t.Fatalf("missing cell parsed to %v, want NaN", v)
+		}
+	}
+	if rows[1][2] != "9.0000" {
+		t.Fatalf("present y cell=%q", rows[1][2])
 	}
 }
 

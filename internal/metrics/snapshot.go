@@ -93,6 +93,7 @@ func (r *Recorder) Snapshot(prefix string, labels ...Label) Snapshot {
 		snap.Add(prefix+name+"_last", r.Series(name).Last().V, labels...)
 		snap.Add(prefix+name+"_mean", sum.Mean, labels...)
 		snap.Add(prefix+name+"_max", sum.Max, labels...)
+		snap.Add(prefix+name+"_p99", sum.P99, labels...)
 	}
 	return snap
 }

@@ -52,6 +52,7 @@ func TestRecorderSnapshot(t *testing.T) {
 		`run_thr_last{job="1"} 300`,
 		`run_thr_mean{job="1"} 200`,
 		`run_thr_max{job="1"} 300`,
+		`run_thr_p99{job="1"} 298`,
 	} {
 		if !strings.Contains(txt, want) {
 			t.Errorf("snapshot text missing %q:\n%s", want, txt)

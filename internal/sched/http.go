@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"automdt/internal/flight"
 	"automdt/internal/transfer"
 	"automdt/internal/workload"
 )
@@ -141,6 +142,18 @@ func NewHandler(s *Scheduler) http.Handler {
 	})
 	mux.HandleFunc("POST /jobs/{id}/cancel", cancel)
 	mux.HandleFunc("DELETE /jobs/{id}", cancel)
+	mux.HandleFunc("GET /debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		var since uint64
+		if v := r.URL.Query().Get("since"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad since %q", v))
+				return
+			}
+			since = n
+		}
+		writeJSON(w, http.StatusOK, flight.Default().DumpFile(r.URL.Query().Get("source"), since))
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap := s.Snapshot()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"automdt/internal/env"
+	"automdt/internal/flight"
 	"automdt/internal/fsim"
 	"automdt/internal/metrics"
 	"automdt/internal/transfer"
@@ -110,6 +111,7 @@ type Job struct {
 	last      env.State
 	ticks     int64
 	submitted time.Time
+	queuedAt  time.Time // last (re-)enqueue, for queue-wait accounting
 	started   time.Time
 	finished  time.Time
 	done      chan struct{}
@@ -295,6 +297,9 @@ type Scheduler struct {
 	queue   jobQueue
 	active  map[int64]*Job
 	retries int64
+	// flightCum accumulates the arbiter's flight-recorder regret across
+	// admission and rebalance events.
+	flightCum float64
 }
 
 // New validates cfg and returns a running (initially idle) scheduler.
@@ -379,11 +384,13 @@ func (s *Scheduler) Submit(spec JobSpec) (int64, error) {
 	if session == "" {
 		session = fmt.Sprintf("job%d-%s", s.nextID, transfer.NewSessionID())
 	}
+	now := time.Now()
 	job := &Job{
 		ID:        s.nextID,
 		Spec:      spec,
 		state:     Queued,
-		submitted: time.Now(),
+		submitted: now,
+		queuedAt:  now,
 		done:      make(chan struct{}),
 		session:   session,
 	}
@@ -429,6 +436,12 @@ func (s *Scheduler) start(job *Job) {
 		inner = s.cfg.NewController()
 	}
 	job.cap = env.NewBudgetCap(inner, [3]int{1, 1, 1})
+	job.cap.OnClamp(capClampHook(job))
+	if flight.Active() {
+		wait := time.Since(job.queuedAt)
+		flight.Default().ObserveStage(flight.StageQueueWait, wait.Seconds())
+		s.recordAdmission(job, wait)
+	}
 	ctx, cancel := context.WithCancel(s.ctx)
 	job.cancelJob = cancel
 	s.active[job.ID] = job
@@ -497,6 +510,7 @@ func (s *Scheduler) finish(job *Job, res *transfer.Result, err error) {
 		job.err = err
 		if job.attempts <= job.Spec.MaxRetries {
 			job.state = Queued
+			job.queuedAt = time.Now()
 			s.retries++
 			heap.Push(&s.queue, job)
 		} else {
@@ -568,6 +582,9 @@ func (s *Scheduler) rebalance() {
 			job := s.active[id]
 			job.share = sh
 			job.cap.SetCap(sh)
+		}
+		if flight.Active() {
+			s.recordRebalance(ids, weights, alloc)
 		}
 	}
 	// Arena capacity tracks the admitted job set: grow to cover the
@@ -771,6 +788,7 @@ func (s *Scheduler) Snapshot() metrics.Snapshot {
 	snap.Add("automdt_sched_bytes_done_total", float64(bytesDone))
 	snap.Merge(s.arena.Snapshot())
 	snap.Merge(metrics.ResumeSnapshot())
+	snap.Merge(flight.Default().MetricsSnapshot())
 	// A runner that fronts shared infrastructure (the EndpointRunner's
 	// multi-session receiver) exports its own gauges.
 	if rs, ok := s.cfg.Runner.(interface{ Snapshot() metrics.Snapshot }); ok {

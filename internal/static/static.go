@@ -38,6 +38,9 @@ func (c *Controller) Decide(env.State) env.Action {
 // concurrency).
 type Monolithic struct {
 	Inner env.Controller
+
+	lastInner env.Action
+	haveInner bool
 }
 
 // Name implements env.Controller.
@@ -46,6 +49,7 @@ func (m *Monolithic) Name() string { return "monolithic(" + m.Inner.Name() + ")"
 // Decide implements env.Controller.
 func (m *Monolithic) Decide(s env.State) env.Action {
 	a := m.Inner.Decide(s)
+	m.lastInner, m.haveInner = a, true
 	maxN := a.Threads[0]
 	for _, n := range a.Threads[1:] {
 		if n > maxN {
@@ -53,4 +57,19 @@ func (m *Monolithic) Decide(s env.State) env.Action {
 		}
 	}
 	return env.Action{Threads: [3]int{maxN, maxN, maxN}}
+}
+
+// ScoredAlternatives implements env.AlternativeScorer: the one candidate
+// the coupling discards is the inner controller's uncoupled tuple, so
+// the flight recorder's regret for Monolithic is literally the measured
+// cost of monolithic coupling. Call after Decide for the same state.
+func (m *Monolithic) ScoredAlternatives(s env.State) []env.ScoredAction {
+	if !m.haveInner {
+		return nil
+	}
+	return []env.ScoredAction{{
+		Action: m.lastInner,
+		Score:  env.Utility(s.Throughput, m.lastInner.Threads, env.DefaultK),
+		Label:  "uncoupled",
+	}}
 }

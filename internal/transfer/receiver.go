@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"automdt/internal/flight"
 	"automdt/internal/fsim"
 	"automdt/internal/metrics"
 	"automdt/internal/wire"
@@ -912,7 +913,9 @@ func (r *Receiver) runSession(parent context.Context, sess *rsession, ctrl *wire
 				cancel()
 				return
 			}
+			span := flight.StageStart()
 			_, err = w.WriteAt(c.Data, c.Offset)
+			flight.StageEnd(flight.StageWrite, span)
 			n := int64(len(c.Data))
 			fileID, offset := c.FileID, c.Offset
 			var sum uint32

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"automdt/internal/env"
+	"automdt/internal/flight"
 	"automdt/internal/fsim"
 	"automdt/internal/metrics"
 	"automdt/internal/wire"
@@ -422,12 +423,14 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 			// lease rides the chunk through staging and is released by the
 			// network worker after the frame hits the wire.
 			buf := arena.Get(n)
+			span := flight.StageStart()
 			if _, err := r.ReadAt(buf.Bytes(), off); err != nil {
 				buf.Release()
 				s.fail(fmt.Errorf("transfer: read %s@%d: %w", s.Manifest[fileID].Name, off, err))
 				cancel()
 				return
 			}
+			flight.StageEnd(flight.StageRead, span)
 			readCounter.Add(int64(n))
 			var sum uint32
 			if checksums {
@@ -547,10 +550,12 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 				c.Release()
 				return
 			}
+			span := flight.StageStart()
 			err := fw.Write(conn, wire.Frame{
 				FileID: c.FileID, Offset: c.Offset, Data: c.Data,
 				Checksum: checksums, Sum: c.Sum, SumKnown: checksums,
 			})
+			flight.StageEnd(flight.StageNet, span)
 			n := int64(len(c.Data))
 			c.Release()
 			if err != nil {
@@ -651,6 +656,15 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 		ctrlName = s.Controller.Name()
 	}
 
+	// The flight wrap is decided once per run (one atomic load), so a
+	// disabled recorder adds nothing to the probe loop. The source is
+	// keyed by session ID: a resumed attempt appends to the prior
+	// attempt's ring and continues its cumulative regret.
+	decider := s.Controller
+	if decider != nil && flight.Active() {
+		decider = flight.WrapController(decider, flight.Default(), "ctrl:"+sess.ID, env.DefaultK, 0)
+	}
+
 	for {
 		select {
 		case <-ctx.Done():
@@ -683,10 +697,10 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 			}, s.Err()
 		case <-ticker.C:
 			state := record()
-			if s.Controller == nil {
+			if decider == nil {
 				continue
 			}
-			act := s.Controller.Decide(state).Clamp(cfg.MaxThreads)
+			act := decider.Decide(state).Clamp(cfg.MaxThreads)
 			readPool.Resize(act.Threads[0])
 			netPool.Resize(act.Threads[1])
 			if act.Threads[2] != writers {
