@@ -270,7 +270,7 @@ func BenchmarkSimulatorStep(b *testing.B) {
 	s := sim.New(experiments.ReadBottleneck().Cfg)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		s.Step(13, 7, 5)
+		s.Step(13, 1, 7, 5)
 	}
 }
 

@@ -217,6 +217,14 @@ func main() {
 				snap.Add("bench_engine_persisted_bytes_per_op", r.PersistedBytesPerOp, metrics.L("bench", r.Name))
 			}
 		}
+		if ratio, ok := enginebench.MultiConnSpeedup(rep); ok {
+			fmt.Printf("[multi-conn striping goodput: %.2fx single-connection]\n", ratio)
+			snap.Add("bench_engine_multiconn_speedup", ratio)
+			if ratio < 1-*benchTol {
+				return fmt.Errorf("striped data plane goodput %.2fx of single-connection, below the %.0f%% tolerance",
+					ratio, *benchTol*100)
+			}
+		}
 		if frac, ok := enginebench.FlightOverhead(rep); ok {
 			if *flightTol > 0 && frac > *flightTol {
 				// A single pairing carries several percent of scheduling

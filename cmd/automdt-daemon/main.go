@@ -52,7 +52,8 @@ func fatal(err error) {
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
 	budgetRead := flag.Int("budget-read", 32, "global read worker budget")
-	budgetNet := flag.Int("budget-net", 32, "global network stream budget")
+	budgetConns := flag.Int("budget-conns", 16, "global data-connection budget")
+	budgetNet := flag.Int("budget-net", 32, "global per-connection stream budget")
 	budgetWrite := flag.Int("budget-write", 32, "global write worker budget")
 	maxActive := flag.Int("max-active", 0, "max concurrent jobs (0 = min stage budget)")
 	opt := flag.String("optimizer", "marlin", "per-job optimizer: marlin, static, automdt")
@@ -119,7 +120,7 @@ func main() {
 		runner = er
 	}
 	s, err := sched.New(sched.Config{
-		Budget:        [3]int{*budgetRead, *budgetNet, *budgetWrite},
+		Budget:        [env.StageCount]int{*budgetRead, *budgetConns, *budgetNet, *budgetWrite},
 		MaxActive:     *maxActive,
 		NewController: newController,
 		Runner:        runner,
@@ -150,8 +151,8 @@ func main() {
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("automdt-daemon: listening on %s (budget r/n/w = %d/%d/%d, max active %d, optimizer %s)\n",
-		*addr, *budgetRead, *budgetNet, *budgetWrite, s.MaxActive(), *opt)
+	fmt.Printf("automdt-daemon: listening on %s (budget r/c/s/w = %d/%d/%d/%d, max active %d, optimizer %s)\n",
+		*addr, *budgetRead, *budgetConns, *budgetNet, *budgetWrite, s.MaxActive(), *opt)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()

@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	testbed := flag.String("testbed", "read", "emulated testbed: read, network, write, wan")
+	testbed := flag.String("testbed", "read", "emulated testbed: read, network, write, conns, wan")
 	modeStr := flag.String("mode", "quick", "fidelity: quick or paper")
 	out := flag.String("out", "automdt-model.ckpt", "agent checkpoint output path")
 	profileOut := flag.String("profile", "automdt-profile.json", "probed profile output path")
@@ -31,11 +31,12 @@ func main() {
 		"read":    experiments.ReadBottleneck(),
 		"network": experiments.NetworkBottleneck(),
 		"write":   experiments.WriteBottleneck(),
+		"conns":   experiments.ConnsBottleneck(),
 		"wan":     experiments.Wan(),
 	}
 	tb, ok := tbs[*testbed]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown testbed %q (want read, network, write, or wan)\n", *testbed)
+		fmt.Fprintf(os.Stderr, "unknown testbed %q (want read, network, write, conns, or wan)\n", *testbed)
 		os.Exit(2)
 	}
 	mode := experiments.Quick

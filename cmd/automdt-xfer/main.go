@@ -87,6 +87,7 @@ func engineConfig(fs *flag.FlagSet) *transfer.Config {
 	fs.Int64Var(&cfg.SenderBufBytes, "sendbuf", 64<<20, "sender staging bytes")
 	fs.Int64Var(&cfg.ReceiverBufBytes, "recvbuf", 64<<20, "receiver staging bytes")
 	fs.IntVar(&cfg.MaxThreads, "maxthreads", 32, "per-stage concurrency bound")
+	fs.IntVar(&cfg.Conns, "conns", 0, "data connections to stripe chunks across (0 = one)")
 	fs.DurationVar(&cfg.ProbeInterval, "interval", 250*time.Millisecond, "probe interval")
 	fs.IntVar(&cfg.InitialThreads, "initial", 1, "initial concurrency")
 	fs.BoolVar(&cfg.DisableChecksums, "no-checksums", false, "disable frame CRCs and end-to-end file verification")

@@ -43,10 +43,11 @@ func main() {
 	defer endpoint.Close()
 
 	s, err := sched.New(sched.Config{
-		// Host-wide worker budget per stage ⟨read, net, write⟩. With 12
-		// greedy tenants active, fair-share hands each a slice and the
-		// summed concurrency never exceeds 24 per stage.
-		Budget:        [3]int{24, 24, 24},
+		// Host-wide worker budget per stage dimension ⟨read, conns,
+		// streams, write⟩. With 12 greedy tenants active, fair-share hands
+		// each a slice and the summed concurrency never exceeds the budget
+		// in any dimension.
+		Budget:        [env.StageCount]int{24, 12, 24, 24},
 		MaxActive:     jobs,
 		NewController: func() env.Controller { return marlin.New() },
 		Runner:        endpoint,

@@ -78,14 +78,16 @@ func main() {
 		state env.State
 	}{
 		{"cold start (buffers empty)", env.State{
-			Threads: [3]int{1, 1, 1}, Throughput: [3]float64{200, 75, 75},
+			N:          [env.StageCount]int{1, 1, 1, 1},
+			Throughput: env.ThroughputVec(200, 75, 75),
 			SenderFree: 500, ReceiverFree: 500}},
 		{"sender staging full", env.State{
-			Threads: [3]int{10, 5, 5}, Throughput: [3]float64{400, 375, 375},
+			N:          [env.StageCount]int{10, 1, 5, 5},
+			Throughput: env.ThroughputVec(400, 375, 375),
 			SenderFree: 0, ReceiverFree: 300}},
 	} {
 		act := ctrl.Decide(tc.state)
-		fmt.Printf("  %-28s → n = %v\n", tc.name, act.Threads)
+		fmt.Printf("  %-28s → n = %v\n", tc.name, act.N)
 	}
 	fmt.Printf("\n(optimal for this testbed: %v)\n", prof.NStar)
 }

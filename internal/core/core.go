@@ -37,6 +37,10 @@ type Options struct {
 	Train rl.TrainConfig
 	// Jitter roughens the training simulator's task rates (default 0.05).
 	Jitter float64
+	// RateDrift, when positive, degrades each stage's per-task rate by up
+	// to this fraction on random training episodes (see env.SimEnv), so
+	// the policy learns to re-expand concurrency under slowed conditions.
+	RateDrift float64
 	// Seed drives all randomness (default 1).
 	Seed int64
 }
@@ -88,6 +92,7 @@ func Train(p *probe.Profile, opts Options) (*System, error) {
 	e := env.NewSimEnv(sim.New(cfg), rand.New(rand.NewSource(opts.Seed+202)))
 	e.K = opts.K
 	e.MaxThreadsN = opts.MaxThreads
+	e.RateDrift = opts.RateDrift
 
 	agent := rl.NewAgent(opts.Net, opts.Seed+303)
 	tc := opts.Train
@@ -185,15 +190,15 @@ func (c *agentController) Decide(st env.State) env.Action {
 func (c *agentController) ScoredAlternatives(st env.State) []env.ScoredAction {
 	k := env.DefaultK
 	out := []env.ScoredAction{{
-		Action: env.Action{Threads: st.Threads},
-		Score:  env.Utility(st.Throughput, st.Threads, k),
+		Action: env.Action{N: st.N},
+		Score:  env.Utility(st.Throughput, env.Action{N: st.N}, k),
 		Label:  "hold",
 	}}
 	if !c.deterministic {
 		mean := c.agent.ActMean(st.Vector(c.maxThreads, c.rateScale, c.bufScale), c.maxThreads)
 		out = append(out, env.ScoredAction{
 			Action: mean,
-			Score:  env.Utility(st.Throughput, mean.Threads, k),
+			Score:  env.Utility(st.Throughput, mean, k),
 			Label:  "mean",
 		})
 	}

@@ -128,7 +128,7 @@ func TestSaveLoadSystemRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	states := tensor.Zeros(2, 8)
+	states := tensor.Zeros(2, env.StateDim)
 	m1, _ := sys.Agent.Policy.MeanStd(states)
 	m2, _ := restored.Agent.Policy.MeanStd(states)
 	for i := range m1.Data {
@@ -252,7 +252,7 @@ func TestDeterministicControllerIsStable(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctrl := sys.DeterministicController()
-	s := env.State{Threads: [3]int{5, 5, 5}, Throughput: [3]float64{400, 400, 400},
+	s := env.State{N: [env.StageCount]int{5, 1, 5, 5}, Throughput: env.ThroughputVec(400, 400, 400),
 		SenderFree: 250, ReceiverFree: 250}
 	first := ctrl.Decide(s)
 	for i := 0; i < 5; i++ {

@@ -35,7 +35,8 @@ type SimTransfer struct {
 
 // SimTransferResult reports a simulated transfer.
 type SimTransferResult struct {
-	// Rec holds per-second traces: cc_read, cc_net, cc_write, thr_read,
+	// Rec holds per-second traces: cc_read, cc_conns, cc_streams,
+	// cc_write, cc_net (total network workers, conns·streams), thr_read,
 	// thr_net, thr_write, thr_e2e.
 	Rec *metrics.Recorder
 	// Ticks is the simulated duration in seconds.
@@ -64,7 +65,9 @@ func (st *SimTransfer) Run() *SimTransferResult {
 	if n <= 0 {
 		n = 1
 	}
-	threads := [3]int{n, n, n}
+	// One data connection carrying n streams reproduces the legacy
+	// single-socket starting point; the controller grows conns from there.
+	act := env.ActionOf(n, 1, n, n)
 
 	controller := st.Controller
 	if controller != nil && flight.Active() {
@@ -81,13 +84,15 @@ func (st *SimTransfer) Run() *SimTransferResult {
 		if st.OnTick != nil {
 			st.OnTick(ticks+1, s)
 		}
-		res := s.Step(threads[0], threads[1], threads[2])
+		res := s.Step(act.N[env.StageRead], act.N[env.StageConns], act.N[env.StageStreams], act.N[env.StageWrite])
 		ticks++
 		written += res.Throughput[sim.Write]
 		t := float64(ticks)
-		rec.Series("cc_read").Record(t, float64(threads[0]))
-		rec.Series("cc_net").Record(t, float64(threads[1]))
-		rec.Series("cc_write").Record(t, float64(threads[2]))
+		rec.Series("cc_read").Record(t, float64(act.N[env.StageRead]))
+		rec.Series("cc_conns").Record(t, float64(act.N[env.StageConns]))
+		rec.Series("cc_streams").Record(t, float64(act.N[env.StageStreams]))
+		rec.Series("cc_net").Record(t, float64(act.NetWorkers()))
+		rec.Series("cc_write").Record(t, float64(act.N[env.StageWrite]))
 		rec.Series("thr_read").Record(t, res.Throughput[sim.Read])
 		rec.Series("thr_net").Record(t, res.Throughput[sim.Network])
 		rec.Series("thr_write").Record(t, res.Throughput[sim.Write])
@@ -95,13 +100,13 @@ func (st *SimTransfer) Run() *SimTransferResult {
 
 		if controller != nil {
 			state := env.State{
-				Threads:      threads,
-				Throughput:   res.Throughput,
+				N: act.N,
+				Throughput: env.ThroughputVec(
+					res.Throughput[sim.Read], res.Throughput[sim.Network], res.Throughput[sim.Write]),
 				SenderFree:   res.SenderBufFree,
 				ReceiverFree: res.ReceiverBufFree,
 			}
-			act := controller.Decide(state).Clamp(maxThreads)
-			threads = act.Threads
+			act = controller.Decide(state).Clamp(maxThreads)
 		}
 	}
 	out := &SimTransferResult{

@@ -149,6 +149,60 @@ func LoopbackE2E(quick, checksums bool) func(b *testing.B) {
 	}
 }
 
+// LoopbackE2EMultiConn is the striped data plane end to end: the same
+// dataset and chunk lifecycle as LoopbackE2E, with the sender striping
+// chunks across conns parallel data connections into one receiver
+// fan-in. Gated against the baseline like every scenario; the CI gate
+// additionally holds MultiConnSpeedup to ≥ 1 within a run's noise —
+// striping must never cost goodput over a loopback where it cannot win
+// much either.
+func LoopbackE2EMultiConn(quick bool, conns int) func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg := transfer.Config{
+			ChunkBytes:     chunkBytes,
+			MaxThreads:     16,
+			InitialThreads: 8,
+			ProbeInterval:  100 * time.Millisecond,
+			Conns:          conns,
+		}
+		m := workload.LargeFiles(16, 4<<20) // 64 MB
+		if quick {
+			m = workload.LargeFiles(8, 2<<20) // 16 MB
+			cfg.InitialThreads = 4
+		}
+		b.SetBytes(m.TotalBytes())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src, dst := fsim.NewSyntheticStore(), fsim.NewSyntheticStore()
+			if _, err := transfer.Loopback(context.Background(), cfg, m, src, dst, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// MultiConnSpeedup returns the striped-over-single goodput ratio within
+// one report: multiconn_MB/s ÷ plain_MB/s (1.0 = parity; loopback has no
+// per-connection ceiling so parity, not a win, is the expectation). ok
+// is false when either scenario is missing. Same machine, same run — no
+// ThroughputComparable caveat applies.
+func MultiConnSpeedup(rep Report) (ratio float64, ok bool) {
+	var plain, multi float64
+	for _, r := range rep.Results {
+		switch r.Name {
+		case "loopback_e2e":
+			plain = r.MBPerSec
+		case "loopback_e2e_multiconn":
+			multi = r.MBPerSec
+		}
+	}
+	if plain <= 0 || multi <= 0 {
+		return 0, false
+	}
+	return multi / plain, true
+}
+
 // LoopbackE2EFlight is LoopbackE2E(quick, true) with the process-wide
 // decision flight recorder enabled for the duration: the same dataset,
 // config, and chunk lifecycle, plus a stage-span histogram observation
@@ -410,6 +464,10 @@ func Run(quick bool) Report {
 		// CRC-32C cost of the integrity/resume machinery.
 		toResult("loopback_e2e", loopBytes, testing.Benchmark(LoopbackE2E(quick, true))),
 		toResult("loopback_e2e_nocrc", loopBytes, testing.Benchmark(LoopbackE2E(quick, false))),
+		// Striped data plane: 4 data connections fanning into one
+		// receiver, vs the single-connection loopback_e2e above
+		// (MultiConnSpeedup pairs them within the report).
+		toResult("loopback_e2e_multiconn", loopBytes, testing.Benchmark(LoopbackE2EMultiConn(quick, 4))),
 		toResult("loopback_e2e_flight", loopBytes, testing.Benchmark(LoopbackE2EFlight(quick))),
 		// Ledger scenario (4M chunks full, 256k quick): the per-tick
 		// persist cost of schema 1 (full JSON document) vs schema 2

@@ -182,3 +182,35 @@ func TestLedgerTickDeltaIsTenthOfDocument(t *testing.T) {
 	}
 	t.Logf("v1 tick %d B, v2 tick %d B (%.0f×) at %d chunks", len(doc), len(delta), float64(len(doc))/float64(len(delta)), chunks)
 }
+
+func TestMultiConnSpeedup(t *testing.T) {
+	rep := report(
+		Result{Name: "loopback_e2e", MBPerSec: 500},
+		Result{Name: "loopback_e2e_multiconn", MBPerSec: 525},
+	)
+	ratio, ok := MultiConnSpeedup(rep)
+	if !ok || ratio < 1.049 || ratio > 1.051 {
+		t.Fatalf("MultiConnSpeedup=%v ok=%v, want 1.05", ratio, ok)
+	}
+	// Missing scenario: not ok.
+	if _, ok := MultiConnSpeedup(report(Result{Name: "loopback_e2e", MBPerSec: 500})); ok {
+		t.Fatal("missing multiconn scenario reported ok")
+	}
+}
+
+// The striped scenario runs end to end and does not cost goodput over a
+// loopback (parity within noise; striping cannot win where there is no
+// per-connection ceiling).
+func TestMultiConnScenarioParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark smoke is slow; skipped with -short")
+	}
+	plain := toResult("loopback_e2e", 16<<20, testing.Benchmark(LoopbackE2E(true, true)))
+	multi := toResult("loopback_e2e_multiconn", 16<<20, testing.Benchmark(LoopbackE2EMultiConn(true, 4)))
+	if plain.MBPerSec <= 0 || multi.MBPerSec <= 0 {
+		t.Fatalf("scenario did not run: plain=%v multi=%v", plain.MBPerSec, multi.MBPerSec)
+	}
+	if multi.MBPerSec < 0.5*plain.MBPerSec {
+		t.Fatalf("striped goodput %.0f MB/s far below single-conn %.0f MB/s", multi.MBPerSec, plain.MBPerSec)
+	}
+}

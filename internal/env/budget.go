@@ -20,14 +20,14 @@ type BudgetCap struct {
 	inner Controller
 
 	mu      sync.Mutex
-	cap     [3]int
-	onClamp func(s State, wanted, got Action, caps [3]int)
+	cap     [StageCount]int
+	onClamp func(s State, wanted, got Action, caps [StageCount]int)
 }
 
 // NewBudgetCap wraps inner with the given initial per-stage caps. Caps
 // below 1 are raised to 1: a live transfer can never run a stage with
 // zero workers.
-func NewBudgetCap(inner Controller, caps [3]int) *BudgetCap {
+func NewBudgetCap(inner Controller, caps [StageCount]int) *BudgetCap {
 	b := &BudgetCap{inner: inner}
 	b.SetCap(caps)
 	return b
@@ -35,7 +35,7 @@ func NewBudgetCap(inner Controller, caps [3]int) *BudgetCap {
 
 // SetCap replaces the per-stage caps. Values below 1 are raised to 1.
 // The new caps apply from the next Decide call.
-func (b *BudgetCap) SetCap(caps [3]int) {
+func (b *BudgetCap) SetCap(caps [StageCount]int) {
 	for i := range caps {
 		if caps[i] < 1 {
 			caps[i] = 1
@@ -52,12 +52,12 @@ func (b *BudgetCap) SetCap(caps [3]int) {
 // arbiter-starvation evidence in the flight recorder without env
 // depending on that package. Pass nil to remove. Apply-before-first-use:
 // installing it concurrently with Decide is not synchronized.
-func (b *BudgetCap) OnClamp(fn func(s State, wanted, got Action, caps [3]int)) {
+func (b *BudgetCap) OnClamp(fn func(s State, wanted, got Action, caps [StageCount]int)) {
 	b.onClamp = fn
 }
 
 // Cap returns the current per-stage caps.
-func (b *BudgetCap) Cap() [3]int {
+func (b *BudgetCap) Cap() [StageCount]int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.cap
@@ -78,17 +78,17 @@ func (b *BudgetCap) Decide(s State) Action {
 	if b.inner != nil {
 		a = b.inner.Decide(s)
 	} else {
-		a = Action{Threads: s.Threads}
+		a = Action{N: s.N}
 	}
 	caps := b.Cap()
 	wanted := a
 	clamped := false
-	for i := range a.Threads {
-		if a.Threads[i] < 1 {
-			a.Threads[i] = 1
+	for i := range a.N {
+		if a.N[i] < 1 {
+			a.N[i] = 1
 		}
-		if a.Threads[i] > caps[i] {
-			a.Threads[i] = caps[i]
+		if a.N[i] > caps[i] {
+			a.N[i] = caps[i]
 			clamped = true
 		}
 	}

@@ -5,88 +5,91 @@ import (
 	"testing"
 )
 
-// wantAll is a greedy controller that always asks for n on every stage.
+// wantAll is a greedy controller that always asks for n on every stage
+// dimension.
 type wantAll struct{ n int }
 
-func (w wantAll) Name() string        { return "greedy" }
-func (w wantAll) Decide(State) Action { return Action{Threads: [3]int{w.n, w.n, w.n}} }
+func (w wantAll) Name() string { return "greedy" }
+func (w wantAll) Decide(State) Action {
+	return Action{N: [StageCount]int{w.n, w.n, w.n, w.n}}
+}
 
 func TestBudgetCapClampsInner(t *testing.T) {
-	b := NewBudgetCap(wantAll{n: 32}, [3]int{4, 7, 2})
+	b := NewBudgetCap(wantAll{n: 32}, [StageCount]int{4, 3, 7, 2})
 	a := b.Decide(State{})
-	if a.Threads != [3]int{4, 7, 2} {
-		t.Fatalf("Decide = %v, want clamped to caps [4 7 2]", a.Threads)
+	if a.N != [StageCount]int{4, 3, 7, 2} {
+		t.Fatalf("Decide = %v, want clamped to caps [4 3 7 2]", a.N)
 	}
-	b.SetCap([3]int{10, 10, 10})
-	if a := b.Decide(State{}); a.Threads != [3]int{10, 10, 10} {
-		t.Fatalf("after raise, Decide = %v, want [10 10 10]", a.Threads)
+	b.SetCap([StageCount]int{10, 10, 10, 10})
+	if a := b.Decide(State{}); a.N != [StageCount]int{10, 10, 10, 10} {
+		t.Fatalf("after raise, Decide = %v, want [10 10 10 10]", a.N)
 	}
 }
 
 func TestBudgetCapFloorsAtOne(t *testing.T) {
-	b := NewBudgetCap(wantAll{n: 0}, [3]int{0, -3, 5})
-	if c := b.Cap(); c != [3]int{1, 1, 5} {
+	b := NewBudgetCap(wantAll{n: 0}, [StageCount]int{0, -3, 5, 0})
+	if c := b.Cap(); c != [StageCount]int{1, 1, 5, 1} {
 		t.Fatalf("Cap = %v, want floors raised to 1", c)
 	}
-	if a := b.Decide(State{}); a.Threads != [3]int{1, 1, 1} {
-		t.Fatalf("Decide = %v, want at least one worker per stage", a.Threads)
+	if a := b.Decide(State{}); a.N != [StageCount]int{1, 1, 1, 1} {
+		t.Fatalf("Decide = %v, want at least one worker per stage", a.N)
 	}
 }
 
 func TestBudgetCapNilInnerHoldsState(t *testing.T) {
-	b := NewBudgetCap(nil, [3]int{8, 8, 8})
+	b := NewBudgetCap(nil, [StageCount]int{8, 8, 8, 8})
 	if b.Name() != "budget" {
 		t.Fatalf("Name = %q", b.Name())
 	}
-	st := State{Threads: [3]int{3, 12, 5}}
-	if a := b.Decide(st); a.Threads != [3]int{3, 8, 5} {
-		t.Fatalf("Decide = %v, want current threads clamped to cap", a.Threads)
+	st := State{N: [StageCount]int{3, 2, 12, 5}}
+	if a := b.Decide(st); a.N != [StageCount]int{3, 2, 8, 5} {
+		t.Fatalf("Decide = %v, want current concurrency clamped to cap", a.N)
 	}
 }
 
 func TestBudgetCapName(t *testing.T) {
-	b := NewBudgetCap(wantAll{n: 1}, [3]int{1, 1, 1})
+	b := NewBudgetCap(wantAll{n: 1}, [StageCount]int{1, 1, 1, 1})
 	if b.Name() != "greedy+budget" {
 		t.Fatalf("Name = %q, want greedy+budget", b.Name())
 	}
 }
 
 func TestBudgetCapOnClampFiresOnlyWhenCapBinds(t *testing.T) {
-	b := NewBudgetCap(wantAll{n: 9}, [3]int{4, 20, 20})
+	b := NewBudgetCap(wantAll{n: 9}, [StageCount]int{4, 20, 20, 20})
 	var calls int
 	var gotWanted, gotGot Action
-	var gotCaps [3]int
-	b.OnClamp(func(s State, wanted, got Action, caps [3]int) {
+	var gotCaps [StageCount]int
+	b.OnClamp(func(s State, wanted, got Action, caps [StageCount]int) {
 		calls++
 		gotWanted, gotGot, gotCaps = wanted, got, caps
 	})
-	st := State{Threads: [3]int{1, 1, 1}}
+	st := State{N: [StageCount]int{1, 1, 1, 1}}
 	b.Decide(st)
 	if calls != 1 {
 		t.Fatalf("calls=%d, want 1", calls)
 	}
-	if gotWanted.Threads != [3]int{9, 9, 9} {
-		t.Fatalf("wanted=%v", gotWanted.Threads)
+	if gotWanted.N != [StageCount]int{9, 9, 9, 9} {
+		t.Fatalf("wanted=%v", gotWanted.N)
 	}
-	if gotGot.Threads != [3]int{4, 9, 9} {
-		t.Fatalf("got=%v", gotGot.Threads)
+	if gotGot.N != [StageCount]int{4, 9, 9, 9} {
+		t.Fatalf("got=%v", gotGot.N)
 	}
-	if gotCaps != [3]int{4, 20, 20} {
+	if gotCaps != [StageCount]int{4, 20, 20, 20} {
 		t.Fatalf("caps=%v", gotCaps)
 	}
 	// Raise the cap above the demand: the callback must stay silent.
-	b.SetCap([3]int{20, 20, 20})
+	b.SetCap([StageCount]int{20, 20, 20, 20})
 	b.Decide(st)
 	if calls != 1 {
 		t.Fatalf("unclamped decision fired the callback (calls=%d)", calls)
 	}
 	// The <1 floor is not a budget clamp: a controller asking for zero
 	// workers is floored, but that is not arbiter starvation.
-	floored := NewBudgetCap(wantAll{n: 0}, [3]int{8, 8, 8})
-	floored.OnClamp(func(State, Action, Action, [3]int) { t.Fatal("floor fired OnClamp") })
+	floored := NewBudgetCap(wantAll{n: 0}, [StageCount]int{8, 8, 8, 8})
+	floored.OnClamp(func(State, Action, Action, [StageCount]int) { t.Fatal("floor fired OnClamp") })
 	floored.Decide(st)
 	// Removing the callback stops delivery.
-	b.SetCap([3]int{1, 1, 1})
+	b.SetCap([StageCount]int{1, 1, 1, 1})
 	b.OnClamp(nil)
 	b.Decide(st)
 	if calls != 1 {
@@ -96,22 +99,22 @@ func TestBudgetCapOnClampFiresOnlyWhenCapBinds(t *testing.T) {
 
 // TestBudgetCapConcurrent exercises SetCap racing Decide under -race.
 func TestBudgetCapConcurrent(t *testing.T) {
-	b := NewBudgetCap(wantAll{n: 32}, [3]int{1, 1, 1})
+	b := NewBudgetCap(wantAll{n: 32}, [StageCount]int{1, 1, 1, 1})
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 1000; i++ {
-			b.SetCap([3]int{1 + i%8, 1 + i%4, 1 + i%2})
+			b.SetCap([StageCount]int{1 + i%8, 1 + i%3, 1 + i%4, 1 + i%2})
 		}
 	}()
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 1000; i++ {
 			a := b.Decide(State{})
-			for s := 0; s < 3; s++ {
-				if a.Threads[s] < 1 || a.Threads[s] > 8 {
-					t.Errorf("decision %v outside any cap ever set", a.Threads)
+			for s := Stage(0); s < StageCount; s++ {
+				if a.N[s] < 1 || a.N[s] > 8 {
+					t.Errorf("decision %v outside any cap ever set", a.N)
 					return
 				}
 			}

@@ -20,61 +20,127 @@ func simFor(t *testing.T) *sim.Simulator {
 	})
 }
 
+func TestStageNames(t *testing.T) {
+	want := [StageCount]string{"read", "conns", "streams", "write"}
+	if got := StageNames(); got != want {
+		t.Fatalf("StageNames=%v want %v", got, want)
+	}
+}
+
 func TestUtilityMatchesFormula(t *testing.T) {
-	tp := [3]float64{800, 900, 1000}
-	n := [3]int{10, 5, 7}
-	want := 800/math.Pow(1.02, 10) + 900/math.Pow(1.02, 5) + 1000/math.Pow(1.02, 7)
-	if got := Utility(tp, n, 1.02); math.Abs(got-want) > 1e-9 {
+	tp := StageVec{800, 900, 900, 1000}
+	a := ActionOf(10, 2, 5, 7)
+	want := 800/math.Pow(1.02, 10) + 900/math.Pow(1.02, 2) +
+		900/math.Pow(1.02, 5) + 1000/math.Pow(1.02, 7)
+	if got := Utility(tp, a, 1.02); math.Abs(got-want) > 1e-9 {
 		t.Fatalf("Utility=%v want %v", got, want)
 	}
 }
 
 func TestUtilityPenalizesConcurrency(t *testing.T) {
-	tp := [3]float64{1000, 1000, 1000}
-	low := Utility(tp, [3]int{5, 5, 5}, 1.02)
-	high := Utility(tp, [3]int{30, 30, 30}, 1.02)
+	tp := ThroughputVec(1000, 1000, 1000)
+	low := Utility(tp, ActionOf(5, 1, 5, 5), 1.02)
+	high := Utility(tp, ActionOf(30, 6, 5, 30), 1.02)
 	if high >= low {
-		t.Fatalf("same throughput with more threads should score lower: %v vs %v", high, low)
+		t.Fatalf("same throughput with more workers should score lower: %v vs %v", high, low)
+	}
+}
+
+func TestUtilityChargesConnsDimension(t *testing.T) {
+	// Same total network concurrency (6 workers), same throughput: the
+	// conns-heavy split must score lower because each extra socket is
+	// penalized on its own dimension.
+	tp := ThroughputVec(800, 600, 700)
+	lean := Utility(tp, ActionOf(5, 1, 6, 5), DefaultK)
+	heavy := Utility(tp, ActionOf(5, 6, 1, 5), DefaultK)
+	// k^-1 + k^-6 == k^-6 + k^-1: symmetric splits tie exactly.
+	if math.Abs(lean-heavy) > 1e-9 {
+		t.Fatalf("symmetric conns/streams splits should tie: %v vs %v", lean, heavy)
+	}
+	balanced := Utility(tp, ActionOf(5, 2, 3, 5), DefaultK)
+	if balanced <= lean {
+		t.Fatalf("2×3 split should beat 1×6: %v vs %v", balanced, lean)
 	}
 }
 
 func TestUtilityKControlsAggressiveness(t *testing.T) {
-	tp := [3]float64{1000, 1000, 1000}
-	n := [3]int{20, 20, 20}
-	gentle := Utility(tp, n, 1.001)
-	harsh := Utility(tp, n, 1.2)
+	tp := ThroughputVec(1000, 1000, 1000)
+	a := ActionOf(20, 4, 5, 20)
+	gentle := Utility(tp, a, 1.001)
+	harsh := Utility(tp, a, 1.2)
 	if harsh >= gentle {
 		t.Fatalf("larger k should penalize more: k=1.2 %v vs k=1.001 %v", harsh, gentle)
 	}
 }
 
+func TestActionOf(t *testing.T) {
+	a := ActionOf(3, 4, 5, 6)
+	if a.N[StageRead] != 3 || a.N[StageConns] != 4 ||
+		a.N[StageStreams] != 5 || a.N[StageWrite] != 6 {
+		t.Fatalf("ActionOf order wrong: %v", a.N)
+	}
+}
+
 func TestActionClamp(t *testing.T) {
-	a := Action{Threads: [3]int{0, 50, 7}}.Clamp(32)
-	if a.Threads != [3]int{1, 32, 7} {
-		t.Fatalf("Clamp=%v", a.Threads)
+	a := ActionOf(0, 50, 7, -2).Clamp(32)
+	if a.N != [StageCount]int{1, 32, 7, 1} {
+		t.Fatalf("Clamp=%v", a.N)
+	}
+	// Exactly-at-bound values pass through untouched.
+	b := ActionOf(1, 32, 1, 32).Clamp(32)
+	if b.N != [StageCount]int{1, 32, 1, 32} {
+		t.Fatalf("boundary Clamp=%v", b.N)
+	}
+}
+
+func TestActionNetWorkers(t *testing.T) {
+	if n := ActionOf(9, 4, 5, 9).NetWorkers(); n != 20 {
+		t.Fatalf("NetWorkers=%d want 20", n)
+	}
+	if n := ActionOf(9, 1, 7, 9).NetWorkers(); n != 7 {
+		t.Fatalf("single-conn NetWorkers=%d want 7", n)
 	}
 }
 
 func TestFromContinuousRoundsAndClamps(t *testing.T) {
-	a := FromContinuous([]float64{6.4, 6.6, -3}, 32)
-	if a.Threads != [3]int{6, 7, 1} {
-		t.Fatalf("FromContinuous=%v", a.Threads)
+	a := FromContinuous([]float64{6.4, 6.6, -3, 2.5}, 32)
+	if a.N != [StageCount]int{6, 7, 1, 3} {
+		t.Fatalf("FromContinuous=%v", a.N)
 	}
-	a = FromContinuous([]float64{100, 0.2, 31.5}, 32)
-	if a.Threads != [3]int{32, 1, 32} {
-		t.Fatalf("FromContinuous=%v", a.Threads)
+	a = FromContinuous([]float64{100, 0.2, 31.5, -100}, 32)
+	if a.N != [StageCount]int{32, 1, 32, 1} {
+		t.Fatalf("FromContinuous=%v", a.N)
+	}
+}
+
+func TestFromContinuousShortSlice(t *testing.T) {
+	// Raw slices shorter than ActionDim clamp the missing trailing
+	// dimensions to 1 instead of panicking — an old 3-dim policy head
+	// degrades to single-connection behaviour.
+	a := FromContinuous([]float64{6.6, 3.2}, 32)
+	if a.N != [StageCount]int{7, 3, 1, 1} {
+		t.Fatalf("short-slice FromContinuous=%v", a.N)
+	}
+	a = FromContinuous(nil, 32)
+	if a.N != [StageCount]int{1, 1, 1, 1} {
+		t.Fatalf("nil-slice FromContinuous=%v", a.N)
+	}
+	// Longer slices ignore the extra components.
+	a = FromContinuous([]float64{2, 3, 4, 5, 99, 98}, 32)
+	if a.N != [StageCount]int{2, 3, 4, 5} {
+		t.Fatalf("long-slice FromContinuous=%v", a.N)
 	}
 }
 
 func TestStateVectorNormalization(t *testing.T) {
 	s := State{
-		Threads:      [3]int{8, 16, 32},
-		Throughput:   [3]float64{500, 1000, 250},
+		N:            [StageCount]int{8, 16, 32, 8},
+		Throughput:   StageVec{500, 1000, 1000, 250},
 		SenderFree:   250,
 		ReceiverFree: 500,
 	}
 	v := s.Vector(32, 1000, 500)
-	want := []float64{0.25, 0.5, 1, 0.5, 1, 0.25, 0.5, 1}
+	want := []float64{0.25, 0.5, 1, 0.25, 0.5, 1, 1, 0.25, 0.5, 1}
 	if len(v) != StateDim {
 		t.Fatalf("vector length %d want %d", len(v), StateDim)
 	}
@@ -89,17 +155,17 @@ func TestSimEnvResetRandomizes(t *testing.T) {
 	e := NewSimEnv(simFor(t), rand.New(rand.NewSource(1)))
 	s1 := e.Reset()
 	s2 := e.Reset()
-	if s1.Threads == s2.Threads {
-		// Extremely unlikely with 32^3 combinations; retry once.
+	if s1.N == s2.N {
+		// Extremely unlikely with 32^4 combinations; retry once.
 		s2 = e.Reset()
-		if s1.Threads == s2.Threads {
-			t.Fatalf("Reset not randomizing threads: %v", s1.Threads)
+		if s1.N == s2.N {
+			t.Fatalf("Reset not randomizing concurrency: %v", s1.N)
 		}
 	}
 	for _, s := range []State{s1, s2} {
-		for i := 0; i < 3; i++ {
-			if s.Threads[i] < 1 || s.Threads[i] > e.MaxThreads() {
-				t.Fatalf("reset thread count %d out of range", s.Threads[i])
+		for i := Stage(0); i < StageCount; i++ {
+			if s.N[i] < 1 || s.N[i] > e.MaxThreads() {
+				t.Fatalf("reset concurrency %d out of range", s.N[i])
 			}
 		}
 	}
@@ -108,14 +174,14 @@ func TestSimEnvResetRandomizes(t *testing.T) {
 func TestSimEnvStepRewardIsUtility(t *testing.T) {
 	e := NewSimEnv(simFor(t), rand.New(rand.NewSource(2)))
 	e.Reset()
-	a := Action{Threads: [3]int{5, 5, 5}}
+	a := ActionOf(5, 1, 5, 5)
 	s, r := e.Step(a)
-	want := Utility(s.Throughput, a.Threads, DefaultK)
+	want := Utility(s.Throughput, a, DefaultK)
 	if math.Abs(r-want) > 1e-9 {
 		t.Fatalf("reward %v != utility %v", r, want)
 	}
-	if s.Threads != a.Threads {
-		t.Fatalf("state threads %v != action %v", s.Threads, a.Threads)
+	if s.N != a.N {
+		t.Fatalf("state concurrency %v != action %v", s.N, a.N)
 	}
 }
 
@@ -131,6 +197,23 @@ func TestSimEnvScales(t *testing.T) {
 	}
 }
 
+func TestSimEnvScalesConnCap(t *testing.T) {
+	cfg := sim.Config{
+		TPT:            [3]float64{200, 150, 200},
+		Bandwidth:      [3]float64{1000, 1000, 1000},
+		ConnMbps:       100,
+		SenderBufCap:   500,
+		ReceiverBufCap: 500,
+		ChunkMb:        8,
+	}
+	e := NewSimEnv(sim.New(cfg), nil)
+	e.MaxThreadsN = 8
+	// Network aggregate: min(150·8, 1000, 100·8) = 800 < other stages.
+	if rate, _ := e.Scales(); rate != 800 {
+		t.Fatalf("rateScale=%v want 800 (conn ceiling binds)", rate)
+	}
+}
+
 func TestSimEnvMaxThreadsDefault(t *testing.T) {
 	e := &SimEnv{Sim: simFor(t)}
 	if e.MaxThreads() != 32 {
@@ -139,30 +222,36 @@ func TestSimEnvMaxThreadsDefault(t *testing.T) {
 }
 
 func TestTheoreticalMaxReward(t *testing.T) {
-	got := TheoreticalMaxReward(1000, [3]int{13, 7, 5}, 1.02)
-	want := 1000*math.Pow(1.02, -13) + 1000*math.Pow(1.02, -7) + 1000*math.Pow(1.02, -5)
+	got := TheoreticalMaxReward(1000, ActionOf(13, 1, 7, 5), 1.02)
+	want := 1000*math.Pow(1.02, -13) + 1000*math.Pow(1.02, -1) +
+		1000*math.Pow(1.02, -7) + 1000*math.Pow(1.02, -5)
 	if math.Abs(got-want) > 1e-9 {
 		t.Fatalf("Rmax=%v want %v", got, want)
 	}
 }
 
-// Property: utility is monotonically non-increasing in each thread count
-// for fixed throughput, and increasing in throughput for fixed threads.
+// Property: utility is monotonically non-increasing in each dimension's
+// concurrency for fixed throughput, and increasing in throughput for
+// fixed concurrency.
 func TestQuickUtilityMonotonicity(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		tp := [3]float64{rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000}
-		n := [3]int{1 + rng.Intn(30), 1 + rng.Intn(30), 1 + rng.Intn(30)}
-		base := Utility(tp, n, DefaultK)
-		for i := 0; i < 3; i++ {
-			more := n
-			more[i]++
+		var tp StageVec
+		var a Action
+		for i := range tp {
+			tp[i] = rng.Float64() * 1000
+			a.N[i] = 1 + rng.Intn(30)
+		}
+		base := Utility(tp, a, DefaultK)
+		for i := Stage(0); i < StageCount; i++ {
+			more := a
+			more.N[i]++
 			if Utility(tp, more, DefaultK) > base {
 				return false
 			}
 			faster := tp
 			faster[i] += 100
-			if Utility(faster, n, DefaultK) < base {
+			if Utility(faster, a, DefaultK) < base {
 				return false
 			}
 		}
@@ -174,7 +263,8 @@ func TestQuickUtilityMonotonicity(t *testing.T) {
 }
 
 // The optimal concurrency under the utility (with full pipeline) should
-// sit near n*: sweep uniform concurrency and check the maximizer region.
+// sit near n*: sweep uniform concurrency (one connection) and check the
+// maximizer region.
 func TestUtilityOptimumNearNStar(t *testing.T) {
 	e := NewSimEnv(simFor(t), nil)
 	bestN, bestU := 0, -1.0
@@ -182,7 +272,7 @@ func TestUtilityOptimumNearNStar(t *testing.T) {
 		e.Sim.Reset()
 		var u float64
 		for i := 0; i < 8; i++ { // settle
-			_, u = e.Step(Action{Threads: [3]int{n, n, n}})
+			_, u = e.Step(ActionOf(n, 1, n, n))
 		}
 		if u > bestU {
 			bestU, bestN = u, n

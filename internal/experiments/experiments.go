@@ -45,6 +45,7 @@ func runCompare(tb Testbed, mode Mode, seed int64, totalMb float64, target sim.S
 	if err != nil {
 		return nil, err
 	}
+	targetN := tb.TargetN(target)
 	run := func(name string, ctrl env.Controller) TraceResult {
 		st := &core.SimTransfer{
 			Cfg:        tb.Cfg,
@@ -60,13 +61,13 @@ func runCompare(tb Testbed, mode Mode, seed int64, totalMb float64, target sim.S
 		return TraceResult{
 			Name:         name,
 			Run:          r,
-			TimeToTarget: r.Rec.Series(series).TimeToReach(float64(tb.NStar[target])),
+			TimeToTarget: r.Rec.Series(series).TimeToReach(float64(targetN)),
 		}
 	}
 	res := &CompareResult{
 		Testbed:     tb,
 		TargetStage: target,
-		Target:      tb.NStar[target],
+		Target:      targetN,
 		Auto:        run("AutoMDT", sys.DeterministicController()),
 		Marlin:      run("Marlin", paperMarlin()),
 	}
@@ -361,8 +362,11 @@ func AblationJoint(mode Mode) (*AblationJointResult, error) {
 
 // KSweepRow is one line of the §IV-B utility-penalty sweep.
 type KSweepRow struct {
-	K            float64
-	BestThreads  [3]int
+	K float64
+	// BestThreads is the utility-maximizing stage tuple.
+	BestThreads env.Action
+	// TotalThreads is the paper's resource count n_r + n_n + n_w, with
+	// n_n the total network workers (conns·streams).
 	TotalThreads int
 	Mbps         float64
 }
@@ -380,38 +384,35 @@ type KSweepRow struct {
 func KSweep(ks []float64) []KSweepRow {
 	tb := ReadBottleneck()
 
-	// Build the candidate set once.
-	var candidates [][3]int
-	seen := map[[3]int]bool{}
-	add := func(c [3]int) {
-		for i := range c {
-			if c[i] < 1 {
-				c[i] = 1
-			}
-			if c[i] > tb.MaxThreads {
-				c[i] = tb.MaxThreads
-			}
-		}
+	// Build the candidate set once: balanced-pipeline tuples at one data
+	// connection (this testbed has no per-connection ceiling, so extra
+	// sockets only cost utility) plus single-dimension neighbours.
+	var candidates []env.Action
+	seen := map[env.Action]bool{}
+	add := func(c env.Action) {
+		c = c.Clamp(tb.MaxThreads)
 		if !seen[c] {
 			seen[c] = true
 			candidates = append(candidates, c)
 		}
 	}
 	for T := 40.0; T <= tb.Bottleneck+1; T += 40 {
-		var c [3]int
-		for i := 0; i < 3; i++ {
-			c[i] = int(math.Ceil(T / tb.Cfg.TPT[i]))
-		}
+		c := env.ActionOf(
+			int(math.Ceil(T/tb.Cfg.TPT[0])),
+			1,
+			int(math.Ceil(T/tb.Cfg.TPT[1])),
+			int(math.Ceil(T/tb.Cfg.TPT[2])),
+		)
 		add(c)
-		for i := 0; i < 3; i++ {
+		for i := env.Stage(0); i < env.StageCount; i++ {
 			for _, d := range []int{-1, +1} {
 				n := c
-				n[i] += d
+				n.N[i] += d
 				add(n)
 			}
 		}
 	}
-	rates := make([][3]float64, len(candidates)) // steady-state throughputs
+	rates := make([]env.StageVec, len(candidates)) // steady-state throughputs
 	for i, c := range candidates {
 		rates[i] = evalThroughputs(tb, c)
 	}
@@ -428,21 +429,21 @@ func KSweep(ks []float64) []KSweepRow {
 		rows = append(rows, KSweepRow{
 			K:            k,
 			BestThreads:  best,
-			TotalThreads: best[0] + best[1] + best[2],
-			Mbps:         rates[bestI][sim.Write],
+			TotalThreads: best.N[env.StageRead] + best.NetWorkers() + best.N[env.StageWrite],
+			Mbps:         rates[bestI][env.StageWrite],
 		})
 	}
 	return rows
 }
 
-// evalThroughputs returns the steady-state per-stage rates at the tuple.
-func evalThroughputs(tb Testbed, n [3]int) [3]float64 {
+// evalThroughputs returns the steady-state stage rates at the tuple.
+func evalThroughputs(tb Testbed, a env.Action) env.StageVec {
 	s := sim.New(tb.Cfg)
 	var r sim.Result
 	for i := 0; i < 10; i++ {
-		r = s.Step(n[0], n[1], n[2])
+		r = s.Step(a.N[env.StageRead], a.N[env.StageConns], a.N[env.StageStreams], a.N[env.StageWrite])
 	}
-	return r.Throughput
+	return env.ThroughputVec(r.Throughput[sim.Read], r.Throughput[sim.Network], r.Throughput[sim.Write])
 }
 
 // PrintCompare renders a CompareResult as the text analogue of a figure

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 
+	"automdt/internal/core"
+	"automdt/internal/env"
 	"automdt/internal/sim"
 )
 
@@ -18,18 +20,30 @@ func testMode() Mode {
 }
 
 func TestTestbedConfigsValid(t *testing.T) {
-	for _, tb := range []Testbed{ReadBottleneck(), NetworkBottleneck(), WriteBottleneck(), Wan()} {
+	for _, tb := range []Testbed{ReadBottleneck(), NetworkBottleneck(), WriteBottleneck(), ConnsBottleneck(), Wan()} {
 		if err := tb.Cfg.Validate(); err != nil {
 			t.Fatalf("%s: %v", tb.Name, err)
 		}
-		// NStar must (nearly) saturate the bottleneck: nᵢ·TPTᵢ ≥ 95% of it
-		// (the paper rounds n* = b/TPT, e.g. 1000/195 → 5).
-		for i := 0; i < 3; i++ {
-			if got := float64(tb.NStar[i]) * tb.Cfg.TPT[i]; got < tb.Bottleneck*0.95 {
-				t.Fatalf("%s stage %d: n*·TPT = %.0f < bottleneck %.0f", tb.Name, i, got, tb.Bottleneck)
+		// NStar must (nearly) saturate the bottleneck on each physical
+		// stage: n·TPT ≥ 95% of it (the paper rounds n* = b/TPT, e.g.
+		// 1000/195 → 5), with the network stage also bounded by the
+		// per-connection ceiling when one is configured.
+		for _, st := range []sim.Stage{sim.Read, sim.Network, sim.Write} {
+			n := tb.TargetN(st)
+			cap := float64(n) * tb.Cfg.TPT[st]
+			if st == sim.Network && tb.Cfg.ConnMbps > 0 {
+				connCap := tb.Cfg.ConnMbps * float64(tb.NStar.N[env.StageConns])
+				if connCap < cap {
+					cap = connCap
+				}
 			}
-			if tb.NStar[i] > tb.MaxThreads {
-				t.Fatalf("%s stage %d: n*=%d exceeds MaxThreads %d", tb.Name, i, tb.NStar[i], tb.MaxThreads)
+			if cap < tb.Bottleneck*0.95 {
+				t.Fatalf("%s stage %v: n*·rate = %.0f < bottleneck %.0f", tb.Name, st, cap, tb.Bottleneck)
+			}
+		}
+		for i, n := range tb.NStar.N {
+			if n > tb.MaxThreads {
+				t.Fatalf("%s dim %d: n*=%d exceeds MaxThreads %d", tb.Name, i, n, tb.MaxThreads)
 			}
 		}
 	}
@@ -141,5 +155,77 @@ func TestCompareTargetStageSeries(t *testing.T) {
 		if name == "" {
 			t.Fatalf("no series for stage %v", st)
 		}
+	}
+}
+
+// The conns-bottleneck testbed caps each data connection at 100 Mbps, so
+// throughput scales with the conns dimension, not streams: the trained
+// policy must discover multi-connection striping (n_c well above 1) and
+// approach the 1 Gbps link. This is the acceptance check for the conns
+// dimension being a first-class controller knob.
+func TestTrainConvergesOnConnsBottleneck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training is slow; skipped with -short")
+	}
+	tb := ConnsBottleneck()
+	sys, err := TrainedSystem(tb, testMode(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &core.SimTransfer{
+		Cfg:        tb.Cfg,
+		Controller: sys.DeterministicController(),
+		TotalMb:    1e12,
+		MaxTicks:   120,
+		MaxThreads: tb.MaxThreads,
+	}
+	r := st.Run()
+	window := func(name string) float64 {
+		pts := r.Rec.Series(name).Points()
+		var sum float64
+		var n int
+		for _, p := range pts {
+			if p.T > 60 { // steady state
+				sum += p.V
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatalf("series %s empty after t=60", name)
+		}
+		return sum / float64(n)
+	}
+	conns := window("cc_conns")
+	e2e := window("thr_e2e")
+	if conns < 4 {
+		t.Fatalf("policy holds %.1f data connections at steady state; the 100 Mbps per-conn cap needs many (n*_c=%d)",
+			conns, tb.NStar.N[env.StageConns])
+	}
+	if e2e < 0.75*tb.Bottleneck {
+		t.Fatalf("steady-state goodput %.0f Mbps, want ≥75%% of the %.0f Mbps link", e2e, tb.Bottleneck)
+	}
+	// A single-connection policy tops out at ConnMbps·n_s... clamped by
+	// the per-conn ceiling: confirm the testbed actually punishes conns=1
+	// so the assertion above is meaningful.
+	one := &core.SimTransfer{
+		Cfg:        tb.Cfg,
+		Controller: staticCC(1),
+		TotalMb:    1e12,
+		MaxTicks:   40,
+		MaxThreads: tb.MaxThreads,
+	}
+	ro := one.Run()
+	pts := ro.Rec.Series("thr_e2e").Points()
+	var oneMbps float64
+	for _, p := range pts {
+		if p.V > oneMbps {
+			oneMbps = p.V
+		}
+	}
+	if oneMbps > 150 {
+		t.Fatalf("one-connection baseline reached %.0f Mbps; the per-conn cap is not binding", oneMbps)
+	}
+	if e2e < 3*oneMbps {
+		t.Fatalf("trained policy (%.0f Mbps) not clearly above the one-conn ceiling (%.0f Mbps)", e2e, oneMbps)
 	}
 }

@@ -41,10 +41,27 @@ type Testbed struct {
 	Cfg sim.Config
 	// MaxThreads bounds per-stage concurrency.
 	MaxThreads int
-	// NStar is the analytically optimal concurrency tuple.
-	NStar [3]int
+	// NStar is the analytically optimal stage tuple ⟨read, conns,
+	// streams-per-conn, write⟩. Testbeds without a per-connection ceiling
+	// optimize at one connection — extra sockets cost utility without
+	// buying throughput.
+	NStar env.Action
 	// Bottleneck is the end-to-end capacity in Mbps.
 	Bottleneck float64
+}
+
+// TargetN returns the optimal concurrency the figure experiments track
+// for a physical stage: thread counts for read and write, total network
+// workers (conns·streams) for the network stage.
+func (tb Testbed) TargetN(st sim.Stage) int {
+	switch st {
+	case sim.Read:
+		return tb.NStar.N[env.StageRead]
+	case sim.Write:
+		return tb.NStar.N[env.StageWrite]
+	default:
+		return tb.NStar.NetWorkers()
+	}
 }
 
 // ReadBottleneck is the §V-B-1 scenario: read threads throttled to
@@ -60,7 +77,7 @@ func ReadBottleneck() Testbed {
 			ChunkMb:        8,
 		},
 		MaxThreads: 20,
-		NStar:      [3]int{13, 7, 5},
+		NStar:      env.ActionOf(13, 1, 7, 5),
 		Bottleneck: 1000,
 	}
 }
@@ -78,7 +95,7 @@ func NetworkBottleneck() Testbed {
 			ChunkMb:        8,
 		},
 		MaxThreads: 20,
-		NStar:      [3]int{5, 14, 5},
+		NStar:      env.ActionOf(5, 1, 14, 5),
 		Bottleneck: 1000,
 	}
 }
@@ -95,7 +112,29 @@ func WriteBottleneck() Testbed {
 			ChunkMb:        8,
 		},
 		MaxThreads: 20,
-		NStar:      [3]int{5, 7, 15},
+		NStar:      env.ActionOf(5, 1, 7, 15),
+		Bottleneck: 1000,
+	}
+}
+
+// ConnsBottleneck caps each data connection at 100 Mbps on a 1 Gbps
+// path: saturating it takes ten parallel connections (one stream each —
+// per-stream throttling at 150 Mbps never binds below the connection
+// ceiling), the scenario where the conns dimension, not the stream
+// count, is the lever the controller must find → optimum ⟨5,10,1,5⟩.
+func ConnsBottleneck() Testbed {
+	return Testbed{
+		Name: "conns-bottleneck",
+		Cfg: sim.Config{
+			TPT:            [3]float64{200, 150, 200},
+			Bandwidth:      [3]float64{1000, 1000, 1000},
+			ConnMbps:       100,
+			SenderBufCap:   500,
+			ReceiverBufCap: 500,
+			ChunkMb:        8,
+		},
+		MaxThreads: 20,
+		NStar:      env.ActionOf(5, 10, 1, 5),
 		Bottleneck: 1000,
 	}
 }
@@ -114,7 +153,7 @@ func Wan() Testbed {
 			ChunkMb:        64,
 		},
 		MaxThreads: 32,
-		NStar:      [3]int{9, 20, 11},
+		NStar:      env.ActionOf(9, 1, 20, 11),
 		Bottleneck: 25000,
 	}
 }
@@ -126,6 +165,10 @@ func trainOpts(tb Testbed, mode Mode, seed int64) core.Options {
 		SenderBufMb:   tb.Cfg.SenderBufCap,
 		ReceiverBufMb: tb.Cfg.ReceiverBufCap,
 		Seed:          seed,
+		// Degrade stage rates by up to 70% on random episodes so the
+		// policy learns re-expansion under slowed conditions (the
+		// Adaptation experiment cuts network per-stream rate ~3×).
+		RateDrift: 0.7,
 	}
 	switch mode {
 	case Paper:

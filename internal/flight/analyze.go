@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"automdt/internal/env"
 	"automdt/internal/metrics"
 )
 
@@ -119,11 +120,11 @@ func Render(t Trace, topN int) string {
 }
 
 func chosenLabel(a Alt) string {
-	if a.Label != "" && a.Threads == ([3]int{}) {
+	if a.Label != "" && a.N == ([env.StageCount]int{}) {
 		return fmt.Sprintf("%s(%.3f)", a.Label, a.Score)
 	}
 	if a.Label != "" {
-		return fmt.Sprintf("%s%v(%.3f)", a.Label, a.Threads, a.Score)
+		return fmt.Sprintf("%s%v(%.3f)", a.Label, a.N, a.Score)
 	}
-	return fmt.Sprintf("%v(%.3f)", a.Threads, a.Score)
+	return fmt.Sprintf("%v(%.3f)", a.N, a.Score)
 }

@@ -65,17 +65,17 @@ func (w *instrumented) Decide(s env.State) env.Action {
 	}
 
 	cands := w.candidates(s, chosen)
-	chosenScore := Utility(s, chosen.Threads, w.k)
+	chosenScore := Utility(s, chosen, w.k)
 	best := chosenScore
 	alts := make([]Alt, 0, len(cands))
 	for _, c := range cands {
-		if c.Action.Threads == chosen.Threads {
+		if c.Action.N == chosen.N {
 			// The chosen action may appear among the self-reported
 			// candidates under the controller's own score; keep the
 			// counterfactual score for regret consistency.
 			continue
 		}
-		alts = append(alts, Alt{Threads: c.Action.Threads, Score: c.Score, Label: c.Label})
+		alts = append(alts, Alt{N: c.Action.N, Score: c.Score, Label: c.Label})
 		if c.Score > best {
 			best = c.Score
 		}
@@ -93,9 +93,9 @@ func (w *instrumented) Decide(s env.State) env.Action {
 		UnixNano:   w.now().UnixNano(),
 		Source:     w.source,
 		Kind:       KindDecision,
-		Threads:    s.Threads,
+		N:          s.N,
 		Throughput: s.Throughput,
-		Chosen:     Alt{Threads: chosen.Threads, Score: chosenScore},
+		Chosen:     Alt{N: chosen.N, Score: chosenScore},
 		Alts:       alts,
 		Regret:     regret,
 		CumRegret:  w.cum,
@@ -108,38 +108,37 @@ func (w *instrumented) Decide(s env.State) env.Action {
 // action. Controllers that implement env.AlternativeScorer report the
 // moves they actually weighed, rescored counterfactually so every
 // candidate in one event shares a scale; everything else gets generic
-// neighbors — hold, plus ±1 on each stage — scored by the same one-step
+// neighbors — hold, plus ±1 on each dimension — scored by the same one-step
 // counterfactual utility.
 func (w *instrumented) candidates(s env.State, chosen env.Action) []env.ScoredAction {
 	if as, ok := w.inner.(env.AlternativeScorer); ok {
 		if cands := as.ScoredAlternatives(s); len(cands) > 0 {
 			for i := range cands {
-				cands[i].Score = Utility(s, cands[i].Action.Threads, w.k)
+				cands[i].Score = Utility(s, cands[i].Action, w.k)
 			}
 			return cands
 		}
 	}
-	cands := make([]env.ScoredAction, 0, 7)
-	add := func(t [3]int, label string) {
+	cands := make([]env.ScoredAction, 0, 2*int(env.StageCount)+1)
+	add := func(t [env.StageCount]int, label string) {
 		for i := range t {
 			if t[i] < 1 {
 				return
 			}
 		}
 		cands = append(cands, env.ScoredAction{
-			Action: env.Action{Threads: t},
-			Score:  Utility(s, t, w.k),
+			Action: env.Action{N: t},
+			Score:  Utility(s, env.Action{N: t}, w.k),
 			Label:  label,
 		})
 	}
-	add(s.Threads, "hold")
-	stages := [3]string{"read", "net", "write"}
-	for i := 0; i < 3; i++ {
-		up, down := chosen.Threads, chosen.Threads
+	add(s.N, "hold")
+	for i := env.Stage(0); i < env.StageCount; i++ {
+		up, down := chosen.N, chosen.N
 		up[i]++
 		down[i]--
-		add(up, stages[i]+"+1")
-		add(down, stages[i]+"-1")
+		add(up, i.String()+"+1")
+		add(down, i.String()+"-1")
 	}
 	return cands
 }

@@ -59,8 +59,9 @@ const (
 // it is the weighted proportional-fairness objective of the candidate
 // allocation.
 type Alt struct {
-	// Threads is the candidate concurrency tuple (decision/cap events).
-	Threads [3]int `json:"threads"`
+	// N is the candidate concurrency tuple (decision/cap events), one
+	// value per env.Stage dimension ⟨read, conns, streams, write⟩.
+	N [env.StageCount]int `json:"threads"`
 	// Score is the candidate's counterfactual score (higher is better).
 	Score float64 `json:"score"`
 	// Label names non-tuple candidates (arbiter allocation policies).
@@ -80,9 +81,10 @@ type Event struct {
 	Source string `json:"source"`
 	// Kind is one of the Kind* constants.
 	Kind string `json:"kind"`
-	// Threads and Throughput are the observed state the decision saw.
-	Threads    [3]int     `json:"state_threads,omitempty"`
-	Throughput [3]float64 `json:"state_throughput,omitempty"`
+	// N and Throughput are the observed state the decision saw, indexed
+	// by env.Stage ⟨read, conns, streams, write⟩.
+	N          [env.StageCount]int `json:"state_threads,omitempty"`
+	Throughput env.StageVec        `json:"state_throughput,omitempty"`
 	// Chosen is the action taken, with its counterfactual score.
 	Chosen Alt `json:"chosen"`
 	// Alts are the top-K unchosen alternatives, best first.
@@ -377,9 +379,9 @@ func Record(ev Event) { defaultRecorder.Record(ev) }
 // candidate concurrency. Holding throughput fixed is the one-step
 // counterfactual: "had we run candidate n instead, same flow, what would
 // the utility have been".
-func Utility(s env.State, threads [3]int, k float64) float64 {
+func Utility(s env.State, a env.Action, k float64) float64 {
 	if k <= 0 {
 		k = env.DefaultK
 	}
-	return env.Utility(s.Throughput, threads, k)
+	return env.Utility(s.Throughput, a, k)
 }

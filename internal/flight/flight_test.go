@@ -192,8 +192,8 @@ func TestWrapControllerRegretHandScored(t *testing.T) {
 	// concurrency, so the best alternative is the hold and the regret is
 	// the hand-computed utility gap U(2,2,2) − U(4,4,4).
 	r := newEnabled(8)
-	state := env.State{Threads: [3]int{2, 2, 2}, Throughput: [3]float64{10, 10, 10}}
-	chosen := env.Action{Threads: [3]int{4, 4, 4}}
+	state := env.State{N: [env.StageCount]int{2, 2, 2, 2}, Throughput: env.StageVec{10, 10, 10, 10}}
+	chosen := env.ActionOf(4, 4, 4, 4)
 	w := WrapController(scripted{act: chosen}, r, "t", env.DefaultK, 3)
 	if got := w.Decide(state); got != chosen {
 		t.Fatalf("wrapper changed the decision: %v", got)
@@ -203,25 +203,25 @@ func TestWrapControllerRegretHandScored(t *testing.T) {
 		t.Fatalf("%d events, want 1", len(evs))
 	}
 	ev := evs[0]
-	u := func(n [3]int) float64 { return env.Utility(state.Throughput, n, env.DefaultK) }
-	wantRegret := u([3]int{2, 2, 2}) - u([3]int{4, 4, 4})
+	u := func(a env.Action) float64 { return env.Utility(state.Throughput, a, env.DefaultK) }
+	wantRegret := u(env.ActionOf(2, 2, 2, 2)) - u(chosen)
 	if math.Abs(ev.Regret-wantRegret) > 1e-12 {
 		t.Fatalf("regret=%.9f, want %.9f", ev.Regret, wantRegret)
 	}
-	if math.Abs(ev.Chosen.Score-u([3]int{4, 4, 4})) > 1e-12 {
-		t.Fatalf("chosen score=%.9f, want %.9f", ev.Chosen.Score, u([3]int{4, 4, 4}))
+	if math.Abs(ev.Chosen.Score-u(chosen)) > 1e-12 {
+		t.Fatalf("chosen score=%.9f, want %.9f", ev.Chosen.Score, u(chosen))
 	}
 	if ev.Kind != KindDecision || ev.Source != "t" || ev.Note != "scripted" {
 		t.Fatalf("event metadata: %+v", ev)
 	}
-	if ev.Threads != state.Threads || ev.Throughput != state.Throughput {
+	if ev.N != state.N || ev.Throughput != state.Throughput {
 		t.Fatalf("event state: %+v", ev)
 	}
 	if len(ev.Alts) != 3 {
 		t.Fatalf("kept %d alts, want topK=3", len(ev.Alts))
 	}
-	if ev.Alts[0].Threads != [3]int{2, 2, 2} {
-		t.Fatalf("best alt=%v, want hold [2 2 2]", ev.Alts[0].Threads)
+	if ev.Alts[0].N != [env.StageCount]int{2, 2, 2, 2} {
+		t.Fatalf("best alt=%v, want hold [2 2 2 2]", ev.Alts[0].N)
 	}
 	for i := 1; i < len(ev.Alts); i++ {
 		if ev.Alts[i].Score > ev.Alts[i-1].Score {
@@ -237,8 +237,8 @@ func TestWrapControllerZeroRegretWhenChosenIsBest(t *testing.T) {
 	// Holding at minimal concurrency: every candidate scores lower, so the
 	// regret clamps to zero rather than going negative.
 	r := newEnabled(8)
-	state := env.State{Threads: [3]int{1, 1, 1}, Throughput: [3]float64{5, 5, 5}}
-	w := WrapController(scripted{act: env.Action{Threads: [3]int{1, 1, 1}}}, r, "t", 0, 0)
+	state := env.State{N: [env.StageCount]int{1, 1, 1, 1}, Throughput: env.StageVec{5, 5, 5, 5}}
+	w := WrapController(scripted{act: env.ActionOf(1, 1, 1, 1)}, r, "t", 0, 0)
 	w.Decide(state)
 	ev := r.Dump("t", 0)[0]
 	if ev.Regret != 0 {
@@ -248,9 +248,9 @@ func TestWrapControllerZeroRegretWhenChosenIsBest(t *testing.T) {
 
 func TestWrapControllerUsesSelfReportedAlternatives(t *testing.T) {
 	r := newEnabled(8)
-	state := env.State{Threads: [3]int{3, 3, 3}, Throughput: [3]float64{10, 10, 10}}
-	chosen := env.Action{Threads: [3]int{4, 4, 4}}
-	alt := env.Action{Threads: [3]int{2, 2, 2}}
+	state := env.State{N: [env.StageCount]int{3, 3, 3, 3}, Throughput: env.StageVec{10, 10, 10, 10}}
+	chosen := env.ActionOf(4, 4, 4, 4)
+	alt := env.ActionOf(2, 2, 2, 2)
 	w := WrapController(scriptedScorer{
 		scripted: scripted{act: chosen},
 		alts: []env.ScoredAction{
@@ -266,8 +266,8 @@ func TestWrapControllerUsesSelfReportedAlternatives(t *testing.T) {
 	// Self-reported scores are rescored counterfactually so every event
 	// shares one scale: regret = U(alt) − U(chosen) at observed
 	// throughput, not the controller's internal −1 vs 99.
-	u := func(n [3]int) float64 { return env.Utility(state.Throughput, n, env.DefaultK) }
-	want := u(alt.Threads) - u(chosen.Threads)
+	u := func(a env.Action) float64 { return env.Utility(state.Throughput, a, env.DefaultK) }
+	want := u(alt) - u(chosen)
 	if math.Abs(ev.Regret-want) > 1e-12 {
 		t.Fatalf("regret=%.9f, want %.9f", ev.Regret, want)
 	}
@@ -275,8 +275,8 @@ func TestWrapControllerUsesSelfReportedAlternatives(t *testing.T) {
 
 func TestWrapControllerCumulativeAndWarmStart(t *testing.T) {
 	r := newEnabled(8)
-	state := env.State{Threads: [3]int{1, 1, 1}, Throughput: [3]float64{10, 10, 10}}
-	w := WrapController(scripted{act: env.Action{Threads: [3]int{3, 3, 3}}}, r, "sess", env.DefaultK, 3)
+	state := env.State{N: [env.StageCount]int{1, 1, 1, 1}, Throughput: env.StageVec{10, 10, 10, 10}}
+	w := WrapController(scripted{act: env.ActionOf(3, 3, 3, 3)}, r, "sess", env.DefaultK, 3)
 	w.Decide(state)
 	w.Decide(state)
 	evs := r.Dump("sess", 0)
@@ -285,7 +285,7 @@ func TestWrapControllerCumulativeAndWarmStart(t *testing.T) {
 	}
 	// A second wrapper on the same source — a resumed attempt of the same
 	// session — continues the cumulative series instead of restarting it.
-	w2 := WrapController(scripted{act: env.Action{Threads: [3]int{3, 3, 3}}}, r, "sess", env.DefaultK, 3)
+	w2 := WrapController(scripted{act: env.ActionOf(3, 3, 3, 3)}, r, "sess", env.DefaultK, 3)
 	w2.Decide(state)
 	evs = r.Dump("sess", 0)
 	last := evs[len(evs)-1]
@@ -296,8 +296,8 @@ func TestWrapControllerCumulativeAndWarmStart(t *testing.T) {
 
 func TestWrapControllerInactiveRecorderRecordsNothing(t *testing.T) {
 	r := NewRecorder() // never enabled
-	w := WrapController(scripted{act: env.Action{Threads: [3]int{2, 2, 2}}}, r, "t", 0, 0)
-	w.Decide(env.State{Threads: [3]int{1, 1, 1}})
+	w := WrapController(scripted{act: env.ActionOf(2, 2, 2, 2)}, r, "t", 0, 0)
+	w.Decide(env.State{N: [env.StageCount]int{1, 1, 1, 1}})
 	if evs := r.Dump("", 0); len(evs) != 0 {
 		t.Fatalf("inactive recorder got %d events", len(evs))
 	}
@@ -307,9 +307,9 @@ func TestWrapControllerInactiveRecorderRecordsNothing(t *testing.T) {
 }
 
 func TestUtilityFallsBackToDefaultK(t *testing.T) {
-	s := env.State{Throughput: [3]float64{10, 10, 10}}
-	got := Utility(s, [3]int{1, 1, 1}, 0)
-	want := env.Utility(s.Throughput, [3]int{1, 1, 1}, env.DefaultK)
+	s := env.State{Throughput: env.StageVec{10, 10, 10, 10}}
+	got := Utility(s, env.ActionOf(1, 1, 1, 1), 0)
+	want := env.Utility(s.Throughput, env.ActionOf(1, 1, 1, 1), env.DefaultK)
 	if got != want {
 		t.Fatalf("Utility(k=0)=%v, want DefaultK value %v", got, want)
 	}

@@ -30,8 +30,8 @@ func TestRecorderConcurrentStress(t *testing.T) {
 			if i%2 == 0 {
 				src = "private-" + string(rune('a'+i))
 			}
-			w := WrapController(scripted{act: env.Action{Threads: [3]int{2, 2, 2}}}, r, "ctrl-"+src, env.DefaultK, 2)
-			st := env.State{Threads: [3]int{1, 1, 1}, Throughput: [3]float64{10, 5, 7}}
+			w := WrapController(scripted{act: env.ActionOf(2, 2, 2, 2)}, r, "ctrl-"+src, env.DefaultK, 2)
+			st := env.State{N: [env.StageCount]int{1, 1, 1, 1}, Throughput: env.ThroughputVec(10, 5, 7)}
 			for n := 0; n < iters; n++ {
 				r.Record(Event{Source: src, Kind: KindDecision, Regret: float64(n)})
 				w.Decide(st)

@@ -7,10 +7,11 @@ import (
 )
 
 // JointGD is the joint multivariate gradient-descent optimizer whose
-// failure motivates AutoMDT (§III): the three concurrency values are
+// failure motivates AutoMDT (§III): the concurrency dimensions are
 // optimized together against the *total* utility U = Σ tᵢ/k^{nᵢ} using
 // finite-difference partial derivatives and a conventional decaying step
-// size.
+// size, round-robining over the four dimensions ⟨read, conns, streams,
+// write⟩.
 //
 // The failure mode the paper describes emerges naturally: early in the
 // transfer the staging buffers are empty, so probes of the network and
@@ -30,10 +31,10 @@ type JointGD struct {
 	Decay float64
 
 	step    float64
-	coord   int // round-robin probe coordinate
-	prevN   [3]int
+	coord   env.Stage // round-robin probe coordinate
+	prevN   [env.StageCount]int
 	prevU   float64
-	dir     [3]int
+	dir     [env.StageCount]int
 	haveObs bool
 }
 
@@ -51,20 +52,22 @@ func (j *JointGD) Decide(s env.State) env.Action {
 	if k <= 0 {
 		k = env.DefaultK
 	}
-	u := env.Utility(s.Throughput, s.Threads, k)
+	u := env.Utility(s.Throughput, env.Action{N: s.N}, k)
 
 	var a env.Action
-	a.Threads = s.Threads
+	a.N = s.N
 	if !j.haveObs {
 		j.haveObs = true
 		j.step = j.Step0
-		j.dir = [3]int{1, 1, 1}
+		for i := range j.dir {
+			j.dir[i] = 1
+		}
 		// First probe: perturb coordinate 0 (read).
-		a.Threads[0] += int(math.Round(j.step))
+		a.N[env.StageRead] += int(math.Round(j.step))
 	} else {
 		// Attribute the utility change to the coordinate we probed.
 		i := j.coord
-		dn := s.Threads[i] - j.prevN[i]
+		dn := s.N[i] - j.prevN[i]
 		if dn != 0 {
 			g := (u - j.prevU) / float64(dn)
 			if g > 0 {
@@ -76,11 +79,11 @@ func (j *JointGD) Decide(s env.State) env.Action {
 		// Decay the step (standard 1/t-style cooling); once it rounds to
 		// zero the coordinate is frozen — the "never recovers" regime.
 		j.step *= j.Decay
-		j.coord = (j.coord + 1) % 3
+		j.coord = (j.coord + 1) % env.StageCount
 		d := int(math.Round(j.step))
-		a.Threads[j.coord] += j.dir[j.coord] * d
+		a.N[j.coord] += j.dir[j.coord] * d
 	}
-	j.prevN = s.Threads
+	j.prevN = s.N
 	j.prevU = u
 	return a.Clamp(1 << 30)
 }
@@ -95,18 +98,18 @@ func (j *JointGD) ScoredAlternatives(s env.State) []env.ScoredAction {
 		k = env.DefaultK
 	}
 	out := []env.ScoredAction{{
-		Action: env.Action{Threads: s.Threads},
-		Score:  env.Utility(s.Throughput, s.Threads, k),
+		Action: env.Action{N: s.N},
+		Score:  env.Utility(s.Throughput, env.Action{N: s.N}, k),
 		Label:  "hold",
 	}}
 	if j.haveObs {
 		if d := int(math.Round(j.step)); d > 0 {
-			t := s.Threads
+			t := s.N
 			t[j.coord] -= j.dir[j.coord] * d
 			if t[j.coord] >= 1 {
 				out = append(out, env.ScoredAction{
-					Action: env.Action{Threads: t},
-					Score:  env.Utility(s.Throughput, t, k),
+					Action: env.Action{N: t},
+					Score:  env.Utility(s.Throughput, env.Action{N: t}, k),
 					Label:  "probe-reverse",
 				})
 			}

@@ -1,8 +1,11 @@
 // Package marlin reimplements the Marlin baseline (Arifuzzaman & Arslan,
 // ICS'23) as described in §II–III of the AutoMDT paper: a modular
-// transfer optimizer that tunes the read, network, and write concurrency
-// with three *independent* single-variable gradient-descent (hill
-// climbing) optimizers over the per-stage utility uᵢ = tᵢ/k^{nᵢ}.
+// transfer optimizer that tunes each concurrency dimension with
+// *independent* single-variable gradient-descent (hill climbing)
+// optimizers over the per-dimension utility uᵢ = tᵢ/k^{nᵢ}. With the
+// striped data plane there are four such climbers — read, conns,
+// streams-per-conn, and write — the network climbers sharing the observed
+// network rate.
 //
 // Because each optimizer ignores the buffer coupling between stages
 // (Fig. 1), the estimated gradients are polluted by the other stages'
@@ -16,7 +19,8 @@ import (
 	"automdt/internal/env"
 )
 
-// Optimizer is the three-independent-hill-climbers controller.
+// Optimizer is the independent-hill-climbers controller, one climber per
+// stage dimension.
 type Optimizer struct {
 	// K is the utility penalty base (default env.DefaultK).
 	K float64
@@ -31,7 +35,7 @@ type Optimizer struct {
 	// experiment harness uses Hold=3 with 1 s ticks.
 	Hold int
 
-	stages  [3]stageState
+	stages  [env.StageCount]stageState
 	holdCnt int
 }
 
@@ -72,19 +76,20 @@ func (o *Optimizer) tol() float64 {
 	return o.Tol
 }
 
-// Decide implements env.Controller. Each stage independently estimates
-// the sign of dU/dn from its last move and hill-climbs accordingly.
+// Decide implements env.Controller. Each dimension independently
+// estimates the sign of dU/dn from its last move and hill-climbs
+// accordingly.
 func (o *Optimizer) Decide(s env.State) env.Action {
 	if o.Hold > 1 {
 		if o.holdCnt > 0 {
 			o.holdCnt--
-			return env.Action{Threads: s.Threads}.Clamp(1 << 30)
+			return env.Action{N: s.N}.Clamp(1 << 30)
 		}
 		o.holdCnt = o.Hold - 1
 	}
 	var a env.Action
-	for i := 0; i < 3; i++ {
-		n := s.Threads[i]
+	for i := env.Stage(0); i < env.StageCount; i++ {
+		n := s.N[i]
 		u := s.Throughput[i] / math.Pow(o.k(), float64(n))
 		st := &o.stages[i]
 
@@ -135,39 +140,38 @@ func (o *Optimizer) Decide(s env.State) env.Action {
 			}
 		}
 		st.prevN, st.prevU, st.haveObs = n, u, true
-		a.Threads[i] = next
+		a.N[i] = next
 	}
 	return a.Clamp(1 << 30) // engine clamps to its own MaxThreads
 }
 
 // ScoredAlternatives implements env.AlternativeScorer: the counter-moves
 // each hill climber weighed against its chosen direction — holding the
-// current tuple, and reversing any stage's current direction — scored by
-// the same utility the climbers maximize. Call after Decide for the same
-// state; the directions reflect the latest gradient estimates.
+// current tuple, and reversing any dimension's current direction — scored
+// by the same utility the climbers maximize. Call after Decide for the
+// same state; the directions reflect the latest gradient estimates.
 func (o *Optimizer) ScoredAlternatives(s env.State) []env.ScoredAction {
 	k := o.k()
-	out := make([]env.ScoredAction, 0, 4)
+	out := make([]env.ScoredAction, 0, int(env.StageCount)+1)
 	out = append(out, env.ScoredAction{
-		Action: env.Action{Threads: s.Threads},
-		Score:  env.Utility(s.Throughput, s.Threads, k),
+		Action: env.Action{N: s.N},
+		Score:  env.Utility(s.Throughput, env.Action{N: s.N}, k),
 		Label:  "hold",
 	})
-	names := [3]string{"read", "net", "write"}
-	for i := 0; i < 3; i++ {
+	for i := env.Stage(0); i < env.StageCount; i++ {
 		st := o.stages[i]
 		if !st.haveObs || st.dir == 0 || st.step == 0 {
 			continue
 		}
-		t := s.Threads
+		t := s.N
 		t[i] -= st.dir * st.step
 		if t[i] < 1 {
 			continue
 		}
 		out = append(out, env.ScoredAction{
-			Action: env.Action{Threads: t},
-			Score:  env.Utility(s.Throughput, t, k),
-			Label:  "reverse:" + names[i],
+			Action: env.Action{N: t},
+			Score:  env.Utility(s.Throughput, env.Action{N: t}, k),
+			Label:  "reverse:" + i.String(),
 		})
 	}
 	return out
@@ -175,6 +179,6 @@ func (o *Optimizer) ScoredAlternatives(s env.State) []env.ScoredAction {
 
 // Reset clears optimizer state so the instance can drive a fresh run.
 func (o *Optimizer) Reset() {
-	o.stages = [3]stageState{}
+	o.stages = [env.StageCount]stageState{}
 	o.holdCnt = 0
 }

@@ -10,8 +10,17 @@ import (
 	"automdt/internal/sim"
 )
 
-func state(n [3]int, t [3]float64) env.State {
-	return env.State{Threads: n, Throughput: t, SenderFree: 100, ReceiverFree: 100}
+func state(n [env.StageCount]int, t env.StageVec) env.State {
+	return env.State{N: n, Throughput: t, SenderFree: 100, ReceiverFree: 100}
+}
+
+// uniform builds a state with the same concurrency and throughput on
+// every dimension, the symmetric fixture the hill-climb tests use.
+func uniform(n int, tp float64) env.State {
+	return state(
+		[env.StageCount]int{n, n, n, n},
+		env.StageVec{tp, tp, tp, tp},
+	)
 }
 
 func TestDefaults(t *testing.T) {
@@ -26,18 +35,18 @@ func TestDefaults(t *testing.T) {
 
 func TestBootstrapProbesUp(t *testing.T) {
 	o := New()
-	a := o.Decide(state([3]int{3, 3, 3}, [3]float64{100, 100, 100}))
-	if a.Threads != [3]int{4, 4, 4} {
-		t.Fatalf("bootstrap %v", a.Threads)
+	a := o.Decide(uniform(3, 100))
+	if a.N != [env.StageCount]int{4, 4, 4, 4} {
+		t.Fatalf("bootstrap %v", a.N)
 	}
 }
 
 func TestAccelerationOnImprovement(t *testing.T) {
 	o := New()
-	o.Decide(state([3]int{2, 2, 2}, [3]float64{100, 100, 100}))
+	o.Decide(uniform(2, 100))
 	// We moved +1 and throughput doubled: keep direction, double step.
-	a := o.Decide(state([3]int{3, 3, 3}, [3]float64{220, 220, 220}))
-	for i, n := range a.Threads {
+	a := o.Decide(uniform(3, 220))
+	for i, n := range a.N {
 		if n != 5 { // 3 + dir(+1)·step(2)
 			t.Fatalf("stage %d: %d want 5 (accelerated)", i, n)
 		}
@@ -47,10 +56,10 @@ func TestAccelerationOnImprovement(t *testing.T) {
 func TestStepCapRespected(t *testing.T) {
 	o := New()
 	o.MaxStep = 2
-	o.Decide(state([3]int{2, 2, 2}, [3]float64{100, 100, 100}))
-	o.Decide(state([3]int{3, 3, 3}, [3]float64{250, 250, 250}))      // step 2
-	a := o.Decide(state([3]int{5, 5, 5}, [3]float64{500, 500, 500})) // step would be 4, capped 2
-	for i, n := range a.Threads {
+	o.Decide(uniform(2, 100))
+	o.Decide(uniform(3, 250))      // step 2
+	a := o.Decide(uniform(5, 500)) // step would be 4, capped 2
+	for i, n := range a.N {
 		if n != 7 {
 			t.Fatalf("stage %d: %d want 7 (cap 2)", i, n)
 		}
@@ -59,10 +68,10 @@ func TestStepCapRespected(t *testing.T) {
 
 func TestFlatGradientKeepsProbing(t *testing.T) {
 	o := New()
-	o.Decide(state([3]int{5, 5, 5}, [3]float64{100, 100, 100}))
+	o.Decide(uniform(5, 100))
 	// +1 threads, essentially unchanged utility → probe up by 1.
-	a := o.Decide(state([3]int{6, 6, 6}, [3]float64{101.5, 101.5, 101.5}))
-	for i, n := range a.Threads {
+	a := o.Decide(uniform(6, 101.5))
+	for i, n := range a.N {
 		if n != 7 {
 			t.Fatalf("stage %d: %d want 7 (flat probe)", i, n)
 		}
@@ -72,21 +81,21 @@ func TestFlatGradientKeepsProbing(t *testing.T) {
 func TestHoldPacing(t *testing.T) {
 	o := New()
 	o.Hold = 3
-	s := state([3]int{4, 4, 4}, [3]float64{100, 100, 100})
+	s := uniform(4, 100)
 	a1 := o.Decide(s) // acts
-	if a1.Threads == s.Threads {
+	if a1.N == s.N {
 		t.Fatal("first decision should act")
 	}
 	// Next two decisions hold the configuration.
-	s2 := state(a1.Threads, [3]float64{120, 120, 120})
-	if a := o.Decide(s2); a.Threads != s2.Threads {
-		t.Fatalf("hold tick changed threads: %v", a.Threads)
+	s2 := state(a1.N, env.StageVec{120, 120, 120, 120})
+	if a := o.Decide(s2); a.N != s2.N {
+		t.Fatalf("hold tick changed threads: %v", a.N)
 	}
-	if a := o.Decide(s2); a.Threads != s2.Threads {
+	if a := o.Decide(s2); a.N != s2.N {
 		t.Fatal("second hold tick changed threads")
 	}
 	// Third decision acts again.
-	if a := o.Decide(s2); a.Threads == s2.Threads {
+	if a := o.Decide(s2); a.N == s2.N {
 		t.Fatal("post-hold decision should act")
 	}
 }
@@ -94,21 +103,21 @@ func TestHoldPacing(t *testing.T) {
 func TestResetClearsState(t *testing.T) {
 	o := New()
 	o.Hold = 2
-	o.Decide(state([3]int{4, 4, 4}, [3]float64{100, 100, 100}))
+	o.Decide(uniform(4, 100))
 	o.Reset()
 	// After reset the optimizer bootstraps again (acts immediately).
-	a := o.Decide(state([3]int{4, 4, 4}, [3]float64{100, 100, 100}))
-	if a.Threads != [3]int{5, 5, 5} {
-		t.Fatalf("post-reset bootstrap %v", a.Threads)
+	a := o.Decide(uniform(4, 100))
+	if a.N != [env.StageCount]int{5, 5, 5, 5} {
+		t.Fatalf("post-reset bootstrap %v", a.N)
 	}
 }
 
 func TestActionsNeverBelowOne(t *testing.T) {
 	o := New()
-	o.Decide(state([3]int{1, 1, 1}, [3]float64{10, 10, 10}))
+	o.Decide(uniform(1, 10))
 	// Utility collapse → reversal, but floor at 1.
-	a := o.Decide(state([3]int{2, 2, 2}, [3]float64{0.01, 0.01, 0.01}))
-	for i, n := range a.Threads {
+	a := o.Decide(uniform(2, 0.01))
+	for i, n := range a.N {
 		if n < 1 {
 			t.Fatalf("stage %d went to %d", i, n)
 		}
@@ -124,14 +133,14 @@ func TestJointGDDefaults(t *testing.T) {
 
 func TestJointGDStepDecaysToFrozen(t *testing.T) {
 	j := NewJointGD()
-	s := state([3]int{5, 5, 5}, [3]float64{100, 100, 100})
+	s := uniform(5, 100)
 	prev := s
 	var lastAct env.Action
 	frozen := false
 	for i := 0; i < 60; i++ {
 		lastAct = j.Decide(prev)
-		prev = state(lastAct.Threads, [3]float64{100, 100, 100})
-		if i > 40 && lastAct.Threads == prev.Threads {
+		prev = state(lastAct.N, env.StageVec{100, 100, 100, 100})
+		if i > 40 && lastAct.N == prev.N {
 			frozen = true
 		}
 	}

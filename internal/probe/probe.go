@@ -1,10 +1,11 @@
 // Package probe implements AutoMDT's exploration and logging phase
 // (§IV-A): a short "random-threads" run against the real transfer path
 // that records per-stage throughputs every second, from which it derives
-// the per-thread throughput TPTᵢ and aggregate bandwidth Bᵢ of each stage,
-// the end-to-end bottleneck b = min(B_r, B_n, B_w), the thread counts
-// n*ᵢ = b / TPTᵢ needed to reach it, and the theoretical maximum reward
-// Rmax used as the offline-training convergence criterion.
+// the per-unit throughput TPTᵢ and aggregate bandwidth Bᵢ of each
+// controller dimension ⟨read, conns, streams, write⟩, the end-to-end
+// bottleneck b, the concurrency tuple n*ᵢ needed to reach it, and the
+// theoretical maximum reward Rmax used as the offline-training
+// convergence criterion.
 package probe
 
 import (
@@ -16,46 +17,50 @@ import (
 	"automdt/internal/sim"
 )
 
-// Runner executes one measurement interval at the given concurrency and
-// reports the per-stage throughputs in Mbps. The live transfer engine and
-// the simulator both satisfy this.
+// Runner executes one measurement interval at the given concurrency
+// tuple and reports the three physical stage throughputs in Mbps. The
+// live transfer engine and the simulator both satisfy this.
 type Runner interface {
-	Probe(nr, nn, nw int) (tr, tn, tw float64)
+	Probe(a env.Action) (read, network, write float64)
 }
 
 // RunnerFunc adapts a function to the Runner interface.
-type RunnerFunc func(nr, nn, nw int) (tr, tn, tw float64)
+type RunnerFunc func(a env.Action) (read, network, write float64)
 
 // Probe implements Runner.
-func (f RunnerFunc) Probe(nr, nn, nw int) (tr, tn, tw float64) { return f(nr, nn, nw) }
+func (f RunnerFunc) Probe(a env.Action) (read, network, write float64) { return f(a) }
 
 // SimRunner adapts a *sim.Simulator to the Runner interface.
 type SimRunner struct{ Sim *sim.Simulator }
 
 // Probe implements Runner.
-func (s SimRunner) Probe(nr, nn, nw int) (tr, tn, tw float64) {
-	r := s.Sim.Step(nr, nn, nw)
+func (s SimRunner) Probe(a env.Action) (read, network, write float64) {
+	r := s.Sim.Step(a.N[env.StageRead], a.N[env.StageConns], a.N[env.StageStreams], a.N[env.StageWrite])
 	return r.Throughput[sim.Read], r.Throughput[sim.Network], r.Throughput[sim.Write]
 }
 
 // Sample is one logged second of the exploration run.
 type Sample struct {
-	Threads    [3]int
-	Throughput [3]float64
+	Action     env.Action
+	Throughput env.StageVec
 }
 
-// Profile is the distilled result of the exploration phase.
+// Profile is the distilled result of the exploration phase, indexed by
+// the named stage dimensions of env.Stage.
 type Profile struct {
-	// B is the observed aggregate bandwidth of each stage (max Tᵢ), Mbps.
-	B [3]float64
-	// TPT is the observed per-thread throughput of each stage
-	// (max Tᵢ/nᵢ), Mbps.
-	TPT [3]float64
-	// Bottleneck is b = min(B_r, B_n, B_w).
+	// B is the observed aggregate bandwidth of each dimension (max Tᵢ),
+	// Mbps; the conns and streams entries both carry the network maximum.
+	B env.StageVec
+	// TPT is the observed per-unit throughput of each dimension, Mbps:
+	// per read thread, per data connection, per network stream, and per
+	// write thread.
+	TPT env.StageVec
+	// Bottleneck is b = min over the physical stage bandwidths.
 	Bottleneck float64
-	// NStar holds the thread counts needed to reach the bottleneck
-	// assuming near-linear scaling: n*ᵢ = ceil(b / TPTᵢ).
-	NStar [3]int
+	// NStar holds the concurrency tuple needed to reach the bottleneck
+	// assuming near-linear scaling: n*ᵢ = ceil(b / TPTᵢ), with the
+	// streams dimension divided across the n*_c connections.
+	NStar env.Action
 	// Rmax is the theoretical maximum utility for penalty base k.
 	Rmax float64
 	// K is the penalty base Rmax was computed with.
@@ -69,7 +74,7 @@ type Options struct {
 	// Steps is the number of one-second measurements. The paper uses a
 	// 10-minute run (600). Defaults to 600.
 	Steps int
-	// MaxThreads bounds the random thread counts. Defaults to 32.
+	// MaxThreads bounds the random concurrency values. Defaults to 32.
 	MaxThreads int
 	// K is the utility penalty base. Defaults to env.DefaultK.
 	K float64
@@ -96,46 +101,76 @@ func Explore(r Runner, rng *rand.Rand, opts Options) (*Profile, error) {
 	opts = opts.withDefaults()
 	p := &Profile{K: opts.K}
 	for step := 0; step < opts.Steps; step++ {
-		nr := 1 + rng.Intn(opts.MaxThreads)
-		nn := 1 + rng.Intn(opts.MaxThreads)
-		nw := 1 + rng.Intn(opts.MaxThreads)
-		tr, tn, tw := r.Probe(nr, nn, nw)
-		s := Sample{Threads: [3]int{nr, nn, nw}, Throughput: [3]float64{tr, tn, tw}}
+		var a env.Action
+		for i := range a.N {
+			a.N[i] = 1 + rng.Intn(opts.MaxThreads)
+		}
+		tr, tn, tw := r.Probe(a)
+		s := Sample{Action: a, Throughput: env.ThroughputVec(tr, tn, tw)}
 		if opts.KeepSamples {
 			p.Samples = append(p.Samples, s)
 		}
-		for i := 0; i < 3; i++ {
+		// Per-unit rates: reads and writes per thread, the network rate
+		// per connection (conns dimension) and per stream (streams
+		// dimension, n_c·n_s total streams).
+		units := [env.StageCount]float64{
+			env.StageRead:    float64(a.N[env.StageRead]),
+			env.StageConns:   float64(a.N[env.StageConns]),
+			env.StageStreams: float64(a.NetWorkers()),
+			env.StageWrite:   float64(a.N[env.StageWrite]),
+		}
+		for i := env.Stage(0); i < env.StageCount; i++ {
 			if s.Throughput[i] > p.B[i] {
 				p.B[i] = s.Throughput[i]
 			}
-			if tpt := s.Throughput[i] / float64(s.Threads[i]); tpt > p.TPT[i] {
+			if tpt := s.Throughput[i] / units[i]; tpt > p.TPT[i] {
 				p.TPT[i] = tpt
 			}
 		}
 	}
-	for i := 0; i < 3; i++ {
+	for i := env.Stage(0); i < env.StageCount; i++ {
 		if p.B[i] <= 0 || p.TPT[i] <= 0 {
-			return nil, fmt.Errorf("probe: stage %v observed no throughput; cannot profile", sim.Stage(i))
+			return nil, fmt.Errorf("probe: stage %v observed no throughput; cannot profile", i)
 		}
 	}
-	p.Bottleneck = math.Min(p.B[0], math.Min(p.B[1], p.B[2]))
-	for i := 0; i < 3; i++ {
-		p.NStar[i] = int(math.Ceil(p.Bottleneck / p.TPT[i]))
-		if p.NStar[i] < 1 {
-			p.NStar[i] = 1
-		}
+	p.Bottleneck = p.B[env.StageRead]
+	for i := env.StageConns; i < env.StageCount; i++ {
+		p.Bottleneck = math.Min(p.Bottleneck, p.B[i])
 	}
+	nFor := func(i env.Stage) int {
+		n := int(math.Ceil(p.Bottleneck / p.TPT[i]))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	p.NStar.N[env.StageRead] = nFor(env.StageRead)
+	p.NStar.N[env.StageConns] = nFor(env.StageConns)
+	p.NStar.N[env.StageWrite] = nFor(env.StageWrite)
+	// The streams dimension is per connection: spread the total stream
+	// requirement across the optimal connection count.
+	totalStreams := nFor(env.StageStreams)
+	perConn := (totalStreams + p.NStar.N[env.StageConns] - 1) / p.NStar.N[env.StageConns]
+	if perConn < 1 {
+		perConn = 1
+	}
+	p.NStar.N[env.StageStreams] = perConn
 	p.Rmax = env.TheoreticalMaxReward(p.Bottleneck, p.NStar, opts.K)
 	return p, nil
 }
 
 // SimConfig builds a training-simulator configuration approximating the
-// probed system (the "Configure Simulator Environment" arrow in Fig. 2).
-// Buffer capacities come from the caller, since the probe cannot see them.
+// probed system (the "Configure Simulator Environment" arrow in Fig. 2):
+// the per-stream network TPT and per-connection ceiling both come from
+// the probe. Buffer capacities come from the caller, since the probe
+// cannot see them.
 func (p *Profile) SimConfig(senderBufCap, receiverBufCap float64) sim.Config {
 	return sim.Config{
-		TPT:            p.TPT,
-		Bandwidth:      p.B,
+		TPT: [3]float64{
+			p.TPT[env.StageRead], p.TPT[env.StageStreams], p.TPT[env.StageWrite]},
+		Bandwidth: [3]float64{
+			p.B[env.StageRead], p.B[env.StageConns], p.B[env.StageWrite]},
+		ConnMbps:       p.TPT[env.StageConns],
 		SenderBufCap:   senderBufCap,
 		ReceiverBufCap: receiverBufCap,
 	}
@@ -144,7 +179,7 @@ func (p *Profile) SimConfig(senderBufCap, receiverBufCap float64) sim.Config {
 // String summarizes the profile.
 func (p *Profile) String() string {
 	return fmt.Sprintf(
-		"profile{B=[%.0f %.0f %.0f] Mbps, TPT=[%.1f %.1f %.1f] Mbps, b=%.0f, n*=[%d %d %d], Rmax=%.0f}",
-		p.B[0], p.B[1], p.B[2], p.TPT[0], p.TPT[1], p.TPT[2],
-		p.Bottleneck, p.NStar[0], p.NStar[1], p.NStar[2], p.Rmax)
+		"profile{B=[%.0f %.0f %.0f %.0f] Mbps, TPT=[%.1f %.1f %.1f %.1f] Mbps, b=%.0f, n*=[%d %d %d %d], Rmax=%.0f}",
+		p.B[0], p.B[1], p.B[2], p.B[3], p.TPT[0], p.TPT[1], p.TPT[2], p.TPT[3],
+		p.Bottleneck, p.NStar.N[0], p.NStar.N[1], p.NStar.N[2], p.NStar.N[3], p.Rmax)
 }

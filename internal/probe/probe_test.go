@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"automdt/internal/env"
 	"automdt/internal/sim"
 )
 
@@ -27,17 +28,20 @@ func TestExploreRecoversKnownProfile(t *testing.T) {
 	}
 	// TPT estimates: a single-stage thread only reaches full TPT when the
 	// stage is unconstrained; random probing gets close.
-	if math.Abs(p.TPT[0]-80) > 12 {
-		t.Fatalf("TPT read=%v want ≈80", p.TPT[0])
+	if math.Abs(p.TPT[env.StageRead]-80) > 12 {
+		t.Fatalf("TPT read=%v want ≈80", p.TPT[env.StageRead])
 	}
 	if p.Bottleneck < 850 || p.Bottleneck > 1050 {
 		t.Fatalf("bottleneck=%v want ≈1000", p.Bottleneck)
 	}
-	if p.NStar[0] < 11 || p.NStar[0] > 15 {
-		t.Fatalf("n*_r=%d want ≈13", p.NStar[0])
+	if n := p.NStar.N[env.StageRead]; n < 11 || n > 15 {
+		t.Fatalf("n*_r=%d want ≈13", n)
 	}
-	if p.NStar[2] < 4 || p.NStar[2] > 7 {
-		t.Fatalf("n*_w=%d want ≈5", p.NStar[2])
+	if n := p.NStar.N[env.StageWrite]; n < 4 || n > 7 {
+		t.Fatalf("n*_w=%d want ≈5", n)
+	}
+	if n := p.NStar.NetWorkers(); n < 6 || n > 9 {
+		t.Fatalf("n*_net=%d want ≈7", n)
 	}
 	if p.Rmax <= 0 {
 		t.Fatalf("Rmax=%v", p.Rmax)
@@ -48,7 +52,7 @@ func TestExploreRecoversKnownProfile(t *testing.T) {
 }
 
 func TestExploreErrorsOnDeadStage(t *testing.T) {
-	dead := RunnerFunc(func(nr, nn, nw int) (float64, float64, float64) {
+	dead := RunnerFunc(func(env.Action) (float64, float64, float64) {
 		return 100, 0, 100 // network never moves data
 	})
 	if _, err := Explore(dead, rand.New(rand.NewSource(1)), Options{Steps: 10}); err == nil {
@@ -89,7 +93,8 @@ func TestSimConfigRoundTrip(t *testing.T) {
 	s := sim.New(cfg)
 	var last sim.Result
 	for i := 0; i < 10; i++ {
-		last = s.Step(p.NStar[0], p.NStar[1], p.NStar[2])
+		last = s.Step(p.NStar.N[env.StageRead], p.NStar.N[env.StageConns],
+			p.NStar.N[env.StageStreams], p.NStar.N[env.StageWrite])
 	}
 	if last.Throughput[sim.Write] < 0.75*p.Bottleneck {
 		t.Fatalf("rebuilt simulator reaches %v, bottleneck %v", last.Throughput[sim.Write], p.Bottleneck)
@@ -105,14 +110,14 @@ func TestOptionsDefaults(t *testing.T) {
 
 func TestNStarAtLeastOne(t *testing.T) {
 	// A fat per-thread rate makes b/TPT < 1; NStar must clamp to 1.
-	fast := RunnerFunc(func(nr, nn, nw int) (float64, float64, float64) {
+	fast := RunnerFunc(func(env.Action) (float64, float64, float64) {
 		return 1000, 1000, 1000
 	})
 	p, err := Explore(fast, rand.New(rand.NewSource(4)), Options{Steps: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, n := range p.NStar {
+	for i, n := range p.NStar.N {
 		if n < 1 {
 			t.Fatalf("NStar[%d]=%d", i, n)
 		}

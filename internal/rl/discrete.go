@@ -11,7 +11,7 @@ import (
 // DiscreteAgent is the discrete-action-space PPO variant used for the
 // Fig. 4 ablation. Its training loop mirrors Algorithm 2 with categorical
 // heads instead of the Gaussian head; the paper reports that it fails to
-// converge because the three-dimensional discrete concurrency space is
+// converge because the four-dimensional discrete concurrency space is
 // too large for the simple state representation.
 type DiscreteAgent struct {
 	Cfg    NetConfig
@@ -50,7 +50,7 @@ func (a *DiscreteAgent) syncOld() {
 // discreteRollout is one episode of experience with integer actions.
 type discreteRollout struct {
 	states  [][]float64
-	actions [][3]int
+	actions [][env.StageCount]int
 	rewards []float64
 	rawSum  float64
 }
@@ -63,10 +63,10 @@ func (a *DiscreteAgent) collect(e env.Environment, m int, scale float64) discret
 	for step := 0; step < m; step++ {
 		vec := s.Vector(maxT, rate, buf)
 		tuple := a.Policy.Sample(vec, a.rng)
-		act := env.Action{Threads: tuple}.Clamp(maxT)
+		act := env.Action{N: tuple}.Clamp(maxT)
 		next, r := e.Step(act)
 		ro.states = append(ro.states, vec)
-		ro.actions = append(ro.actions, act.Threads)
+		ro.actions = append(ro.actions, act.N)
 		ro.rewards = append(ro.rewards, r/scale)
 		ro.rawSum += r
 		s = next

@@ -1,6 +1,6 @@
 // Package rl implements the Proximal Policy Optimization agent of
 // AutoMDT (§IV-D and Algorithm 2): a continuous Gaussian policy over the
-// concurrency tuple ⟨n_r, n_n, n_w⟩ with the residual policy/value
+// concurrency tuple ⟨n_r, n_c, n_s, n_w⟩ with the residual policy/value
 // network architectures the paper describes, plus the discrete-action
 // variant used as the failed ablation of Fig. 4.
 package rl
@@ -9,6 +9,7 @@ import (
 	"math"
 	"math/rand"
 
+	"automdt/internal/env"
 	"automdt/internal/nn"
 	"automdt/internal/tensor"
 )
@@ -33,10 +34,10 @@ type NetConfig struct {
 
 func (c NetConfig) withDefaults() NetConfig {
 	if c.StateDim <= 0 {
-		c.StateDim = 8
+		c.StateDim = env.StateDim
 	}
 	if c.ActionDim <= 0 {
-		c.ActionDim = 3
+		c.ActionDim = env.ActionDim
 	}
 	if c.Hidden <= 0 {
 		c.Hidden = 256
@@ -146,15 +147,16 @@ func (v *ValueNet) Params() []*tensor.Tensor { return v.Net.Params() }
 // DiscretePolicy is the discrete-action-space ablation (§V-A, Fig. 4).
 // The paper defines "the concurrency values directly as actions"; in the
 // discrete formulation that is a single categorical distribution over
-// every concurrency tuple ⟨n_r, n_n, n_w⟩ ∈ [1, MaxActions]³ — a
-// MaxActions³-way choice. This combinatorial action space is exactly why
+// every concurrency tuple ⟨n_r, n_c, n_s, n_w⟩ ∈ [1, MaxActions]⁴ — a
+// MaxActions⁴-way choice. This combinatorial action space is exactly why
 // the discrete agent "failed miserably": the paper notes it would need a
-// far richer state space and far longer training to work.
+// far richer state space and far longer training to work, and the extra
+// connection dimension makes it another MaxActions× worse.
 type DiscretePolicy struct {
 	Trunk *nn.Sequential
 	Head  *nn.CategoricalHead
 	// MaxActions is the per-dimension concurrency bound; the joint space
-	// has MaxActions³ actions.
+	// has MaxActions^StageCount actions.
 	MaxActions int
 }
 
@@ -167,34 +169,47 @@ func NewDiscretePolicy(cfg NetConfig, rng *rand.Rand) *DiscretePolicy {
 	}
 	layers = append(layers, nn.Tanh{})
 	n := cfg.MaxActions
+	joint := 1
+	for i := 0; i < env.ActionDim; i++ {
+		joint *= n
+	}
 	return &DiscretePolicy{
 		Trunk:      nn.NewSequential(layers...),
-		Head:       nn.NewCategoricalHead(cfg.Hidden, n*n*n, rng),
+		Head:       nn.NewCategoricalHead(cfg.Hidden, joint, rng),
 		MaxActions: cfg.MaxActions,
 	}
 }
 
 // encode maps a 1-based concurrency tuple to its joint action index.
-func (d *DiscretePolicy) encode(a [3]int) int {
+func (d *DiscretePolicy) encode(a [env.StageCount]int) int {
 	n := d.MaxActions
-	return ((a[0]-1)*n+(a[1]-1))*n + (a[2] - 1)
+	idx := 0
+	for _, v := range a {
+		idx = idx*n + (v - 1)
+	}
+	return idx
 }
 
 // decode maps a joint action index back to the 1-based tuple.
-func (d *DiscretePolicy) decode(idx int) [3]int {
+func (d *DiscretePolicy) decode(idx int) [env.StageCount]int {
 	n := d.MaxActions
-	return [3]int{idx/(n*n) + 1, (idx/n)%n + 1, idx%n + 1}
+	var a [env.StageCount]int
+	for i := len(a) - 1; i >= 0; i-- {
+		a[i] = idx%n + 1
+		idx /= n
+	}
+	return a
 }
 
-// Sample draws a thread-count tuple (1-based) for a single state.
-func (d *DiscretePolicy) Sample(state []float64, rng *rand.Rand) [3]int {
+// Sample draws a concurrency tuple (1-based) for a single state.
+func (d *DiscretePolicy) Sample(state []float64, rng *rand.Rand) [env.StageCount]int {
 	f := d.Trunk.Forward(tensor.New(append([]float64(nil), state...), 1, len(state)))
 	return d.decode(d.Head.Sample(f, rng))
 }
 
 // LogProb returns the joint log-probability (B,1) of 1-based action
 // tuples under the current policy.
-func (d *DiscretePolicy) LogProb(states *tensor.Tensor, actions [][3]int) *tensor.Tensor {
+func (d *DiscretePolicy) LogProb(states *tensor.Tensor, actions [][env.StageCount]int) *tensor.Tensor {
 	f := d.Trunk.Forward(states)
 	idx := make([]int, len(actions))
 	for j, a := range actions {

@@ -33,15 +33,15 @@ func testEnv(seed int64) *env.SimEnv {
 func TestGaussianPolicyShapes(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	p := NewGaussianPolicy(tinyNet(), rng)
-	states := tensor.Zeros(4, 8)
+	states := tensor.Zeros(4, env.StateDim)
 	mean, std := p.MeanStd(states)
-	if mean.Rows() != 4 || mean.Cols() != 3 {
+	if mean.Rows() != 4 || mean.Cols() != env.ActionDim {
 		t.Fatalf("mean shape %v", mean.Shape())
 	}
-	if std.Len() != 3 {
+	if std.Len() != env.ActionDim {
 		t.Fatalf("std len %d", std.Len())
 	}
-	lp := p.LogProb(states, tensor.Zeros(4, 3))
+	lp := p.LogProb(states, tensor.Zeros(4, env.ActionDim))
 	if lp.Rows() != 4 || lp.Cols() != 1 {
 		t.Fatalf("logprob shape %v", lp.Shape())
 	}
@@ -54,8 +54,8 @@ func TestGaussianPolicySampleFinite(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	p := NewGaussianPolicy(tinyNet(), rng)
 	for i := 0; i < 20; i++ {
-		a := p.Sample(make([]float64, 8), rng)
-		if len(a) != 3 {
+		a := p.Sample(make([]float64, env.StateDim), rng)
+		if len(a) != env.ActionDim {
 			t.Fatalf("sample len %d", len(a))
 		}
 		for _, v := range a {
@@ -70,7 +70,7 @@ func TestDiscretePolicySampleRange(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	d := NewDiscretePolicy(tinyNet(), rng)
 	for i := 0; i < 50; i++ {
-		a := d.Sample(make([]float64, 8), rng)
+		a := d.Sample(make([]float64, env.StateDim), rng)
 		for _, n := range a {
 			if n < 1 || n > 16 {
 				t.Fatalf("discrete action %v out of [1,16]", a)
@@ -82,8 +82,8 @@ func TestDiscretePolicySampleRange(t *testing.T) {
 func TestDiscreteLogProbNegative(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	d := NewDiscretePolicy(tinyNet(), rng)
-	states := tensor.Zeros(3, 8)
-	lp := d.LogProb(states, [][3]int{{1, 2, 3}, {4, 5, 6}, {16, 1, 8}})
+	states := tensor.Zeros(3, env.StateDim)
+	lp := d.LogProb(states, [][env.StageCount]int{{1, 2, 3, 4}, {4, 5, 6, 7}, {16, 1, 8, 2}})
 	if lp.Rows() != 3 {
 		t.Fatalf("shape %v", lp.Shape())
 	}
@@ -104,7 +104,7 @@ func TestAgentSaveLoadRoundTrip(t *testing.T) {
 	if err := b.Load(&buf); err != nil {
 		t.Fatal(err)
 	}
-	states := tensor.Zeros(2, 8)
+	states := tensor.Zeros(2, env.StateDim)
 	ma, _ := a.Policy.MeanStd(states)
 	mb, _ := b.Policy.MeanStd(states)
 	for i := range ma.Data {
@@ -120,9 +120,9 @@ func TestActReturnsValidAction(t *testing.T) {
 	s := e.Reset()
 	for i := 0; i < 10; i++ {
 		act := a.Act(s, e)
-		for _, n := range act.Threads {
+		for _, n := range act.N {
 			if n < 1 || n > e.MaxThreads() {
-				t.Fatalf("action %v out of range", act.Threads)
+				t.Fatalf("action %v out of range", act.N)
 			}
 		}
 	}
@@ -143,7 +143,7 @@ func TestTrainImprovesOverRandomPolicy(t *testing.T) {
 	for ep := 0; ep < baselineEpisodes; ep++ {
 		e.Reset()
 		for m := 0; m < 10; m++ {
-			act := env.Action{Threads: [3]int{1 + rng.Intn(16), 1 + rng.Intn(16), 1 + rng.Intn(16)}}
+			act := env.ActionOf(1+rng.Intn(16), 1+rng.Intn(16), 1+rng.Intn(16), 1+rng.Intn(16))
 			_, r := e.Step(act)
 			randomTotal += r
 		}
@@ -238,26 +238,26 @@ func TestDiscreteAgentTrainsWithoutCrashing(t *testing.T) {
 
 func TestActMeanIsDeterministic(t *testing.T) {
 	a := NewAgent(tinyNet(), 51)
-	vec := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+	vec := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 	first := a.ActMean(vec, 16)
 	for i := 0; i < 5; i++ {
 		if got := a.ActMean(vec, 16); got != first {
 			t.Fatalf("ActMean varied: %v vs %v", got, first)
 		}
 	}
-	for _, n := range first.Threads {
+	for _, n := range first.N {
 		if n < 1 || n > 16 {
-			t.Fatalf("ActMean out of range: %v", first.Threads)
+			t.Fatalf("ActMean out of range: %v", first.N)
 		}
 	}
 }
 
 func TestActVecSamplesVary(t *testing.T) {
 	a := NewAgent(tinyNet(), 52)
-	vec := make([]float64, 8)
-	seen := map[[3]int]bool{}
+	vec := make([]float64, env.StateDim)
+	seen := map[env.Action]bool{}
 	for i := 0; i < 50; i++ {
-		seen[a.ActVec(vec, 16).Threads] = true
+		seen[a.ActVec(vec, 16)] = true
 	}
 	if len(seen) < 2 {
 		t.Fatal("sampled actions never varied; exploration broken")

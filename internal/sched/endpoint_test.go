@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"automdt/internal/env"
 	"automdt/internal/workload"
 )
 
@@ -16,7 +17,7 @@ func TestEndpointRunnerSharesOneReceiver(t *testing.T) {
 	er := &EndpointRunner{Verify: true}
 	defer er.Close()
 	s, err := New(Config{
-		Budget:    [3]int{8, 8, 8},
+		Budget:    [env.StageCount]int{8, 8, 8, 8},
 		MaxActive: 4,
 		Runner:    er,
 	})

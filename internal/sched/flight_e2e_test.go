@@ -33,7 +33,7 @@ func TestFlightEndToEnd(t *testing.T) {
 	})
 
 	s, err := New(Config{
-		Budget:        [3]int{8, 8, 8},
+		Budget:        [env.StageCount]int{8, 8, 8, 8},
 		MaxActive:     2,
 		NewController: func() env.Controller { return static.New(32) },
 		Runner:        &LoopbackRunner{},
@@ -110,7 +110,7 @@ func TestFlightEndToEnd(t *testing.T) {
 			if ev.Regret < 0 {
 				t.Fatalf("negative regret: %+v", ev)
 			}
-			if ev.Chosen.Threads == [3]int{} {
+			if ev.Chosen.N == [env.StageCount]int{} {
 				t.Fatalf("controller decision without a chosen tuple: %+v", ev)
 			}
 		}

@@ -26,7 +26,7 @@ const CapSource = "sched:cap"
 // one job" and "ignore priorities" both score visibly worse than the
 // largest-remainder split when they are worse, and no better when they
 // are not.
-func allocScore(shares [][3]int, weights []int) float64 {
+func allocScore(shares [][env.StageCount]int, weights []int) float64 {
 	u := 0.0
 	for j, sh := range shares {
 		w := float64(weights[j])
@@ -42,9 +42,9 @@ func allocScore(shares [][3]int, weights []int) float64 {
 
 // allocFor builds a per-job allocation by applying split to every stage
 // budget.
-func allocFor(budget [3]int, weights []int, split func(total int, weights []int) []int) [][3]int {
-	shares := make([][3]int, len(weights))
-	for stage := 0; stage < 3; stage++ {
+func allocFor(budget [env.StageCount]int, weights []int, split func(total int, weights []int) []int) [][env.StageCount]int {
+	shares := make([][env.StageCount]int, len(weights))
+	for stage := 0; stage < int(env.StageCount); stage++ {
 		st := split(budget[stage], weights)
 		for j := range shares {
 			shares[j][stage] = st[j]
@@ -84,8 +84,8 @@ func greedySplit(total int, weights []int) []int {
 // it implicitly rejected. ids/weights/alloc describe the active set in
 // ascending-ID order. Caller holds s.mu; the caller has already checked
 // flight.Active.
-func (s *Scheduler) recordRebalance(ids []int64, weights []int, alloc map[int64][3]int) {
-	chosenShares := make([][3]int, len(ids))
+func (s *Scheduler) recordRebalance(ids []int64, weights []int, alloc map[int64][env.StageCount]int) {
+	chosenShares := make([][env.StageCount]int, len(ids))
 	var note strings.Builder
 	for i, id := range ids {
 		chosenShares[i] = alloc[id]
@@ -110,7 +110,7 @@ func (s *Scheduler) recordRebalance(ids []int64, weights []int, alloc map[int64]
 		UnixNano:  time.Now().UnixNano(),
 		Source:    ArbiterSource,
 		Kind:      flight.KindRebalance,
-		Threads:   s.cfg.Budget,
+		N:         s.cfg.Budget,
 		Chosen:    flight.Alt{Label: "priority-fair", Score: chosen},
 		Alts:      alts,
 		Regret:    best - chosen,
@@ -159,14 +159,14 @@ func (s *Scheduler) recordAdmission(job *Job, wait time.Duration) {
 // one-step utility the clamp cost (U at the wanted tuple minus U at the
 // granted one, at observed throughput). Runs on the transfer probe
 // goroutine; it takes no scheduler locks.
-func capClampHook(job *Job) func(st env.State, wanted, got env.Action, caps [3]int) {
+func capClampHook(job *Job) func(st env.State, wanted, got env.Action, caps [env.StageCount]int) {
 	id, session := job.ID, job.session
-	return func(st env.State, wanted, got env.Action, caps [3]int) {
+	return func(st env.State, wanted, got env.Action, caps [env.StageCount]int) {
 		if !flight.Active() {
 			return
 		}
-		uWant := flight.Utility(st, wanted.Threads, env.DefaultK)
-		uGot := flight.Utility(st, got.Threads, env.DefaultK)
+		uWant := flight.Utility(st, wanted, env.DefaultK)
+		uGot := flight.Utility(st, got, env.DefaultK)
 		regret := uWant - uGot
 		if regret < 0 {
 			regret = 0
@@ -175,10 +175,10 @@ func capClampHook(job *Job) func(st env.State, wanted, got env.Action, caps [3]i
 			UnixNano:   time.Now().UnixNano(),
 			Source:     CapSource,
 			Kind:       flight.KindCap,
-			Threads:    st.Threads,
+			N:          st.N,
 			Throughput: st.Throughput,
-			Chosen:     flight.Alt{Threads: got.Threads, Score: uGot},
-			Alts:       []flight.Alt{{Threads: wanted.Threads, Score: uWant, Label: "uncapped"}},
+			Chosen:     flight.Alt{N: got.N, Score: uGot},
+			Alts:       []flight.Alt{{N: wanted.N, Score: uWant, Label: "uncapped"}},
 			Regret:     regret,
 			Note:       fmt.Sprintf("job=%d session=%s cap=%v", id, session, caps),
 		})

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"automdt/internal/flight"
@@ -27,6 +28,9 @@ type SubmitRequest struct {
 	MaxThreads      int `json:"max_threads,omitempty"`
 	InitialThreads  int `json:"initial_threads,omitempty"`
 	ProbeIntervalMs int `json:"probe_interval_ms,omitempty"`
+	// Conns is the number of parallel data connections the job's sender
+	// opens (the striping width); 0 means one.
+	Conns int `json:"conns,omitempty"`
 	// DisableChecksums turns off frame CRCs and end-to-end file
 	// verification (on by default).
 	DisableChecksums bool `json:"disable_checksums,omitempty"`
@@ -50,21 +54,37 @@ func (r SubmitRequest) spec() (JobSpec, error) {
 			InitialThreads:   r.InitialThreads,
 			ProbeInterval:    time.Duration(r.ProbeIntervalMs) * time.Millisecond,
 			DisableChecksums: r.DisableChecksums,
+			Conns:            r.Conns,
 		},
 	}, nil
 }
 
-// NewHandler exposes a Scheduler over HTTP:
+// NewHandler exposes a Scheduler over HTTP. The stable, versioned
+// surface lives under /v1/ (see docs/OPERATIONS.md for the stability
+// contract); every route is also registered at its historical unprefixed
+// path as a deprecated alias so pre-v1 clients keep working:
 //
-//	POST   /jobs             submit a SubmitRequest, returns the JobStatus
-//	GET    /jobs             list all jobs
-//	GET    /jobs/{id}        one job's status
-//	POST   /jobs/{id}/cancel cancel a queued or running job
-//	DELETE /jobs/{id}        same as cancel
-//	GET    /metrics          text-format metrics snapshot
-//	GET    /healthz          liveness probe
+//	POST   /v1/jobs             submit a SubmitRequest, returns the JobStatus
+//	GET    /v1/jobs             list all jobs
+//	GET    /v1/jobs/{id}        one job's status
+//	POST   /v1/jobs/{id}/cancel cancel a queued or running job
+//	DELETE /v1/jobs/{id}        same as cancel
+//	GET    /v1/debug/flight     decision flight-recorder dump
+//	GET    /v1/metrics          text-format metrics snapshot
+//	GET    /v1/healthz          liveness probe
 func NewHandler(s *Scheduler) http.Handler {
 	mux := http.NewServeMux()
+
+	// handle registers one route under /v1/ and at the legacy unprefixed
+	// path. pattern is "METHOD /path".
+	handle := func(pattern string, h http.HandlerFunc) {
+		method, path, ok := strings.Cut(pattern, " ")
+		if !ok {
+			panic("sched: bad route pattern " + pattern)
+		}
+		mux.HandleFunc(method+" /v1"+path, h)
+		mux.HandleFunc(pattern, h)
+	}
 
 	writeJSON := func(w http.ResponseWriter, code int, v any) {
 		w.Header().Set("Content-Type", "application/json")
@@ -99,7 +119,7 @@ func NewHandler(s *Scheduler) http.Handler {
 		writeJSON(w, http.StatusOK, st)
 	}
 
-	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		// A submit body is a small JSON document; bound it so no client
 		// can stream the daemon out of memory.
 		r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
@@ -125,10 +145,10 @@ func NewHandler(s *Scheduler) http.Handler {
 		st, _ := s.Status(id)
 		writeJSON(w, http.StatusCreated, st)
 	})
-	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.List())
 	})
-	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id, ok := jobID(w, r)
 		if !ok {
 			return
@@ -140,9 +160,9 @@ func NewHandler(s *Scheduler) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, st)
 	})
-	mux.HandleFunc("POST /jobs/{id}/cancel", cancel)
-	mux.HandleFunc("DELETE /jobs/{id}", cancel)
-	mux.HandleFunc("GET /debug/flight", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /jobs/{id}/cancel", cancel)
+	handle("DELETE /jobs/{id}", cancel)
+	handle("GET /debug/flight", func(w http.ResponseWriter, r *http.Request) {
 		var since uint64
 		if v := r.URL.Query().Get("since"); v != "" {
 			n, err := strconv.ParseUint(v, 10, 64)
@@ -154,12 +174,12 @@ func NewHandler(s *Scheduler) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, flight.Default().DumpFile(r.URL.Query().Get("source"), since))
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap := s.Snapshot()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		w.Write([]byte(snap.Text()))
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
 	return mux

@@ -56,7 +56,7 @@ func decodeStatus(t *testing.T, resp *http.Response) JobStatus {
 }
 
 func TestHTTPSubmitStatusMetrics(t *testing.T) {
-	_, srv := newTestServer(t, Config{Budget: [3]int{8, 8, 8}})
+	_, srv := newTestServer(t, Config{Budget: [env.StageCount]int{8, 8, 8, 8}})
 
 	req := SubmitRequest{
 		Name:            "api-job",
@@ -128,7 +128,7 @@ func TestHTTPCancel(t *testing.T) {
 			return nil, ctx.Err()
 		}
 	})
-	s, srv := newTestServer(t, Config{Budget: [3]int{2, 2, 2}, Runner: runner})
+	s, srv := newTestServer(t, Config{Budget: [env.StageCount]int{2, 2, 2, 2}, Runner: runner})
 	defer close(block)
 
 	st := decodeStatus(t, postJSON(t, srv.URL+"/jobs", SubmitRequest{
@@ -157,7 +157,7 @@ func TestHTTPCancel(t *testing.T) {
 }
 
 func TestHTTPErrors(t *testing.T) {
-	_, srv := newTestServer(t, Config{Budget: [3]int{1, 1, 1}})
+	_, srv := newTestServer(t, Config{Budget: [env.StageCount]int{1, 1, 1, 1}})
 
 	// Unknown job.
 	r, err := http.Get(srv.URL + "/jobs/99")
@@ -195,4 +195,62 @@ func TestHTTPErrors(t *testing.T) {
 		t.Fatalf("healthz = %d", r.StatusCode)
 	}
 	r.Body.Close()
+}
+
+// TestV1RouteAliases checks the versioned API surface: every route is
+// reachable under /v1/ and at its legacy unprefixed path, and both
+// spellings hit the same scheduler.
+func TestV1RouteAliases(t *testing.T) {
+	_, srv := newTestServer(t, Config{Budget: [env.StageCount]int{8, 8, 8, 8}})
+
+	// Submit through the versioned path, with the striping knob set.
+	resp := postJSON(t, srv.URL+"/v1/jobs", SubmitRequest{
+		Name:    "v1-job",
+		Dataset: dataset(1, 1<<20),
+		Conns:   3,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /v1/jobs status %d", resp.StatusCode)
+	}
+	st := decodeStatus(t, resp)
+
+	// Read it back through both spellings; they must agree on identity.
+	for _, path := range []string{
+		fmt.Sprintf("/v1/jobs/%d", st.ID),
+		fmt.Sprintf("/jobs/%d", st.ID),
+	} {
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := decodeStatus(t, r)
+		if got.ID != st.ID || got.Name != "v1-job" {
+			t.Fatalf("GET %s returned %+v", path, got)
+		}
+	}
+
+	for _, path := range []string{"/v1/healthz", "/v1/metrics", "/v1/jobs", "/v1/debug/flight"} {
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s status %d", path, r.StatusCode)
+		}
+	}
+
+	// Cancel through the versioned path.
+	r, err := http.NewRequest(http.MethodDelete, srv.URL+fmt.Sprintf("/v1/jobs/%d", st.ID), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK && dresp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE /v1/jobs/%d status %d", st.ID, dresp.StatusCode)
+	}
 }

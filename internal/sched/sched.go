@@ -102,7 +102,7 @@ type Job struct {
 
 	state     JobState
 	attempts  int
-	share     [3]int
+	share     [env.StageCount]int
 	cap       *env.BudgetCap
 	cancelJob context.CancelFunc
 	cancelled bool
@@ -132,21 +132,21 @@ type Job struct {
 // JobStatus is an immutable snapshot of a job, JSON-shaped for the
 // daemon API.
 type JobStatus struct {
-	ID         int64      `json:"id"`
-	Name       string     `json:"name"`
-	State      string     `json:"state"`
-	Priority   int        `json:"priority"`
-	Attempts   int        `json:"attempts"`
-	Share      [3]int     `json:"share"`
-	Threads    [3]int     `json:"threads"`
-	Throughput [3]float64 `json:"throughput_mbps"`
-	TotalBytes int64      `json:"total_bytes"`
-	AvgMbps    float64    `json:"avg_mbps,omitempty"`
-	Seconds    float64    `json:"duration_sec,omitempty"`
-	Error      string     `json:"error,omitempty"`
-	Submitted  time.Time  `json:"submitted_at"`
-	Started    time.Time  `json:"started_at,omitzero"`
-	Finished   time.Time  `json:"finished_at,omitzero"`
+	ID         int64               `json:"id"`
+	Name       string              `json:"name"`
+	State      string              `json:"state"`
+	Priority   int                 `json:"priority"`
+	Attempts   int                 `json:"attempts"`
+	Share      [env.StageCount]int `json:"share"`
+	Threads    [env.StageCount]int `json:"threads"`
+	Throughput env.StageVec        `json:"throughput_mbps"`
+	TotalBytes int64               `json:"total_bytes"`
+	AvgMbps    float64             `json:"avg_mbps,omitempty"`
+	Seconds    float64             `json:"duration_sec,omitempty"`
+	Error      string              `json:"error,omitempty"`
+	Submitted  time.Time           `json:"submitted_at"`
+	Started    time.Time           `json:"started_at,omitzero"`
+	Finished   time.Time           `json:"finished_at,omitzero"`
 	// Resume progress: every attempt of a job shares SessionID, so a
 	// retry resumes from the chunk ledger instead of restarting.
 	// CommittedBytes is the receiver-reported committed volume (live
@@ -245,10 +245,10 @@ func (r *LoopbackRunner) Run(ctx context.Context, spec JobSpec, ctrl env.Control
 
 // Config parameterizes a Scheduler.
 type Config struct {
-	// Budget is the host-wide worker budget per stage ⟨read, net, write⟩.
-	// Every component must be ≥ 1. The arbiter guarantees the summed
-	// per-job caps never exceed it.
-	Budget [3]int
+	// Budget is the host-wide worker budget per stage dimension ⟨read,
+	// conns, streams-per-conn, write⟩. Every component must be ≥ 1. The
+	// arbiter guarantees the summed per-job caps never exceed it.
+	Budget [env.StageCount]int
 	// MaxActive caps concurrently running jobs. It is clamped to the
 	// smallest stage budget so every active job can hold at least one
 	// worker per stage; 0 means that clamp alone.
@@ -274,7 +274,7 @@ type Config struct {
 
 	// onRebalance, when set by tests, observes every arbiter allocation
 	// (jobID → per-stage share). Called with the scheduler lock held.
-	onRebalance func(map[int64][3]int)
+	onRebalance func(map[int64][env.StageCount]int)
 }
 
 // Scheduler queues and runs transfer jobs under a global budget.
@@ -354,7 +354,7 @@ func arenaDemand(spec JobSpec) int64 {
 }
 
 // Budget returns the configured per-stage budget.
-func (s *Scheduler) Budget() [3]int { return s.cfg.Budget }
+func (s *Scheduler) Budget() [env.StageCount]int { return s.cfg.Budget }
 
 // MaxActive returns the effective concurrent-job cap.
 func (s *Scheduler) MaxActive() int { return s.maxActive }
@@ -435,7 +435,7 @@ func (s *Scheduler) start(job *Job) {
 	if s.cfg.NewController != nil {
 		inner = s.cfg.NewController()
 	}
-	job.cap = env.NewBudgetCap(inner, [3]int{1, 1, 1})
+	job.cap = env.NewBudgetCap(inner, [env.StageCount]int{1, 1, 1, 1})
 	job.cap.OnClamp(capClampHook(job))
 	if flight.Active() {
 		wait := time.Since(job.queuedAt)
@@ -559,7 +559,7 @@ func (s *Scheduler) evictLocked() {
 // mu. The invariant asserted by tests: for every stage, the assigned
 // shares sum to at most the stage budget.
 func (s *Scheduler) rebalance() {
-	alloc := make(map[int64][3]int, len(s.active))
+	alloc := make(map[int64][env.StageCount]int, len(s.active))
 	if len(s.active) > 0 {
 		ids := make([]int64, 0, len(s.active))
 		for id := range s.active {
@@ -570,7 +570,7 @@ func (s *Scheduler) rebalance() {
 		for i, id := range ids {
 			weights[i] = s.active[id].Spec.Priority
 		}
-		for stage := 0; stage < 3; stage++ {
+		for stage := 0; stage < int(env.StageCount); stage++ {
 			shares := fairShare(s.cfg.Budget[stage], weights)
 			for i, id := range ids {
 				a := alloc[id]
@@ -711,7 +711,7 @@ func (s *Scheduler) statusLocked(job *Job) JobStatus {
 		Priority:       job.Spec.Priority,
 		Attempts:       job.attempts,
 		Share:          job.share,
-		Threads:        job.last.Threads,
+		Threads:        job.last.N,
 		Throughput:     job.last.Throughput,
 		TotalBytes:     job.Spec.Manifest.TotalBytes(),
 		Submitted:      job.submitted,
@@ -757,7 +757,9 @@ func (s *Scheduler) List() []JobStatus {
 	return out
 }
 
-var stageNames = [3]string{"read", "net", "write"}
+// stageNames are the budget dimension labels, taken from the env stage
+// enum so metrics and the API never drift from the action space.
+var stageNames = env.StageNames()
 
 // Snapshot exports the scheduler's state as a metrics snapshot: global
 // budget and job counts, plus per-active-job shares, observed threads and
@@ -801,7 +803,7 @@ func (s *Scheduler) Snapshot() metrics.Snapshot {
 			for i, name := range stageNames {
 				stage := metrics.L("stage", name)
 				snap.Add("automdt_job_share", float64(job.share[i]), id, stage)
-				snap.Add("automdt_job_threads", float64(job.last.Threads[i]), id, stage)
+				snap.Add("automdt_job_threads", float64(job.last.N[i]), id, stage)
 				snap.Add("automdt_job_throughput_mbps", job.last.Throughput[i], id, stage)
 			}
 			snap.Add("automdt_job_committed_bytes", float64(job.committed), id)

@@ -67,11 +67,11 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 // allocRecorder captures every arbiter allocation.
 type allocRecorder struct {
 	mu     sync.Mutex
-	allocs []map[int64][3]int
+	allocs []map[int64][env.StageCount]int
 }
 
-func (a *allocRecorder) record(m map[int64][3]int) {
-	cp := make(map[int64][3]int, len(m))
+func (a *allocRecorder) record(m map[int64][env.StageCount]int) {
+	cp := make(map[int64][env.StageCount]int, len(m))
 	for k, v := range m {
 		cp[k] = v
 	}
@@ -80,10 +80,10 @@ func (a *allocRecorder) record(m map[int64][3]int) {
 	a.mu.Unlock()
 }
 
-func (a *allocRecorder) snapshot() []map[int64][3]int {
+func (a *allocRecorder) snapshot() []map[int64][env.StageCount]int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return append([]map[int64][3]int(nil), a.allocs...)
+	return append([]map[int64][env.StageCount]int(nil), a.allocs...)
 }
 
 func TestPriorityOrdering(t *testing.T) {
@@ -98,7 +98,7 @@ func TestPriorityOrdering(t *testing.T) {
 			return nil, ctx.Err()
 		}
 	})
-	s, err := New(Config{Budget: [3]int{1, 1, 1}, Runner: runner})
+	s, err := New(Config{Budget: [env.StageCount]int{1, 1, 1, 1}, Runner: runner})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestRebalanceOnCompletion(t *testing.T) {
 		}
 	})
 	s, err := New(Config{
-		Budget:      [3]int{12, 12, 12},
+		Budget:      [env.StageCount]int{12, 12, 12, 12},
 		MaxActive:   3,
 		Runner:      runner,
 		onRebalance: rec.record,
@@ -176,7 +176,7 @@ func TestRebalanceOnCompletion(t *testing.T) {
 		id[j.name] = jid
 	}
 
-	var full map[int64][3]int
+	var full map[int64][env.StageCount]int
 	waitFor(t, "all three jobs allocated", func() bool {
 		for _, a := range rec.snapshot() {
 			if len(a) == 3 {
@@ -186,10 +186,10 @@ func TestRebalanceOnCompletion(t *testing.T) {
 		}
 		return false
 	})
-	if full[id["heavy"]] != [3]int{6, 6, 6} {
+	if full[id["heavy"]] != [env.StageCount]int{6, 6, 6, 6} {
 		t.Errorf("heavy share = %v, want [6 6 6]", full[id["heavy"]])
 	}
-	if full[id["a"]] != [3]int{3, 3, 3} || full[id["b"]] != [3]int{3, 3, 3} {
+	if full[id["a"]] != [env.StageCount]int{3, 3, 3, 3} || full[id["b"]] != [env.StageCount]int{3, 3, 3, 3} {
 		t.Errorf("light shares = %v, %v, want [3 3 3] each", full[id["a"]], full[id["b"]])
 	}
 
@@ -197,7 +197,7 @@ func TestRebalanceOnCompletion(t *testing.T) {
 	close(releases["a"])
 	waitFor(t, "rebalance to two jobs", func() bool {
 		for _, a := range rec.snapshot() {
-			if len(a) == 2 && a[id["heavy"]] == [3]int{8, 8, 8} && a[id["b"]] == [3]int{4, 4, 4} {
+			if len(a) == 2 && a[id["heavy"]] == [env.StageCount]int{8, 8, 8, 8} && a[id["b"]] == [env.StageCount]int{4, 4, 4, 4} {
 				return true
 			}
 		}
@@ -217,7 +217,7 @@ func TestCancelReleasesBudget(t *testing.T) {
 		return nil, ctx.Err()
 	})
 	s, err := New(Config{
-		Budget:      [3]int{8, 8, 8},
+		Budget:      [env.StageCount]int{8, 8, 8, 8},
 		MaxActive:   2,
 		Runner:      runner,
 		onRebalance: rec.record,
@@ -231,7 +231,7 @@ func TestCancelReleasesBudget(t *testing.T) {
 	id2, _ := s.Submit(JobSpec{Name: "survivor", Manifest: manifest1()})
 	waitFor(t, "both running with split budget", func() bool {
 		for _, a := range rec.snapshot() {
-			if len(a) == 2 && a[id1] == [3]int{4, 4, 4} {
+			if len(a) == 2 && a[id1] == [env.StageCount]int{4, 4, 4, 4} {
 				return true
 			}
 		}
@@ -252,7 +252,7 @@ func TestCancelReleasesBudget(t *testing.T) {
 	}
 	waitFor(t, "survivor inherits full budget", func() bool {
 		for _, a := range rec.snapshot() {
-			if len(a) == 1 && a[id2] == [3]int{8, 8, 8} {
+			if len(a) == 1 && a[id2] == [env.StageCount]int{8, 8, 8, 8} {
 				return true
 			}
 		}
@@ -282,7 +282,7 @@ func TestCancelQueuedJobNeverRuns(t *testing.T) {
 			return nil, ctx.Err()
 		}
 	})
-	s, err := New(Config{Budget: [3]int{1, 1, 1}, Runner: runner})
+	s, err := New(Config{Budget: [env.StageCount]int{1, 1, 1, 1}, Runner: runner})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +315,7 @@ func TestRetryThenFail(t *testing.T) {
 		mu.Unlock()
 		return nil, boom
 	})
-	s, err := New(Config{Budget: [3]int{2, 2, 2}, Runner: runner})
+	s, err := New(Config{Budget: [env.StageCount]int{2, 2, 2, 2}, Runner: runner})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +367,7 @@ func TestRetryThenSucceed(t *testing.T) {
 		}
 		return &transfer.Result{Bytes: 1024, AvgMbps: 10}, nil
 	})
-	s, err := New(Config{Budget: [3]int{2, 2, 2}, Runner: runner})
+	s, err := New(Config{Budget: [env.StageCount]int{2, 2, 2, 2}, Runner: runner})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,7 +385,7 @@ func TestRetryThenSucceed(t *testing.T) {
 }
 
 func TestSubmitValidation(t *testing.T) {
-	s, err := New(Config{Budget: [3]int{1, 1, 1}})
+	s, err := New(Config{Budget: [env.StageCount]int{1, 1, 1, 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -396,7 +396,7 @@ func TestSubmitValidation(t *testing.T) {
 	if _, err := s.Submit(JobSpec{Name: "late", Manifest: manifest1()}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
 	}
-	if _, err := New(Config{Budget: [3]int{1, 0, 1}}); err == nil {
+	if _, err := New(Config{Budget: [env.StageCount]int{1, 0, 0, 1}}); err == nil {
 		t.Fatal("zero stage budget accepted")
 	}
 }
@@ -415,7 +415,7 @@ func TestHugePriorityNoOverflow(t *testing.T) {
 			return nil, ctx.Err()
 		}
 	})
-	s, err := New(Config{Budget: [3]int{8, 8, 8}, MaxActive: 2, Runner: runner, onRebalance: rec.record})
+	s, err := New(Config{Budget: [env.StageCount]int{8, 8, 8, 8}, MaxActive: 2, Runner: runner, onRebalance: rec.record})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -432,7 +432,7 @@ func TestHugePriorityNoOverflow(t *testing.T) {
 		for _, a := range rec.snapshot() {
 			if len(a) == 2 {
 				for _, sh := range a {
-					if sh != [3]int{4, 4, 4} {
+					if sh != [env.StageCount]int{4, 4, 4, 4} {
 						t.Fatalf("unequal clamped-weight shares: %v", a)
 					}
 				}
@@ -456,7 +456,7 @@ func TestHistoryEviction(t *testing.T) {
 	runner := RunnerFunc(func(ctx context.Context, spec JobSpec, ctrl env.Controller) (*transfer.Result, error) {
 		return &transfer.Result{Bytes: 1}, nil
 	})
-	s, err := New(Config{Budget: [3]int{2, 2, 2}, Runner: runner, History: 2})
+	s, err := New(Config{Budget: [env.StageCount]int{2, 2, 2, 2}, Runner: runner, History: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -493,7 +493,7 @@ func TestHistoryEviction(t *testing.T) {
 // budget, with all ten jobs simultaneously active at some point.
 func TestGlobalBudgetCompliance(t *testing.T) {
 	const jobs = 10
-	budget := [3]int{16, 16, 16}
+	budget := [env.StageCount]int{16, 16, 16, 16}
 	rec := &allocRecorder{}
 	s, err := New(Config{
 		Budget:        budget,
@@ -541,7 +541,7 @@ func TestGlobalBudgetCompliance(t *testing.T) {
 		if len(alloc) == jobs {
 			sawAllActive = true
 		}
-		var sums [3]int
+		var sums [env.StageCount]int
 		for id, share := range alloc {
 			for stage := 0; stage < 3; stage++ {
 				if share[stage] < 1 {
@@ -589,7 +589,7 @@ func TestArenaCapacityFollowsActiveJobs(t *testing.T) {
 			return nil, ctx.Err()
 		}
 	})
-	s, err := New(Config{Budget: [3]int{8, 8, 8}, MaxActive: 2, Runner: runner, Arena: arena})
+	s, err := New(Config{Budget: [env.StageCount]int{8, 8, 8, 8}, MaxActive: 2, Runner: runner, Arena: arena})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -682,7 +682,7 @@ func TestRetryResumesSession(t *testing.T) {
 		}
 		return transfer.Loopback(ctx, spec.Transfer, spec.Manifest, src, dst, ctrl)
 	})
-	s, err := New(Config{Budget: [3]int{4, 4, 4}, Runner: runner})
+	s, err := New(Config{Budget: [env.StageCount]int{4, 4, 4, 4}, Runner: runner})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -55,6 +55,13 @@ type Config struct {
 	// Bandwidth holds the aggregate capacity of each stage in Mbps; a
 	// stage's total rate is min(n·TPT, Bandwidth). Zero means unlimited.
 	Bandwidth [3]float64
+	// ConnMbps is the per-connection ceiling of the network stage in
+	// Mbps: with n_c data connections the aggregate network rate is
+	// additionally capped at n_c·ConnMbps regardless of how many streams
+	// are multiplexed over each connection — the single-socket ceiling
+	// that striping exists to lift. Zero means uncapped (legacy
+	// single-connection dynamics where only Bandwidth binds).
+	ConnMbps float64
 	// SenderBufCap and ReceiverBufCap are staging buffer capacities
 	// in Mb (the tmpfs staging directories of the DTNs).
 	SenderBufCap   float64
@@ -175,6 +182,15 @@ func (s *Simulator) SetBandwidth(st Stage, mbps float64) {
 	s.cfg.Bandwidth[st] = mbps
 }
 
+// SetConnMbps changes the per-connection network ceiling at runtime.
+// Zero disables the cap.
+func (s *Simulator) SetConnMbps(mbps float64) {
+	if mbps < 0 {
+		mbps = 0
+	}
+	s.cfg.ConnMbps = mbps
+}
+
 // SetTPT changes a stage's per-thread throughput at runtime (e.g. I/O
 // contention from a co-located job). The value must be positive.
 func (s *Simulator) SetTPT(st Stage, mbps float64) {
@@ -206,11 +222,15 @@ func (q *taskQueue) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q
 
 // effectiveRate returns a single thread's rate for the stage given n
 // concurrent threads: near-linear scaling capped by the aggregate
-// bandwidth share.
-func (s *Simulator) effectiveRate(st Stage, n int) float64 {
+// bandwidth share and, for the network stage, by the striped
+// per-connection ceiling (conns·ConnMbps split across the n streams).
+func (s *Simulator) effectiveRate(st Stage, n, conns int) float64 {
 	r := s.cfg.TPT[st]
 	if bw := s.cfg.Bandwidth[st]; bw > 0 && n > 0 {
 		r = math.Min(r, bw/float64(n))
+	}
+	if st == Network && s.cfg.ConnMbps > 0 && n > 0 && conns > 0 {
+		r = math.Min(r, s.cfg.ConnMbps*float64(conns)/float64(n))
 	}
 	if s.cfg.Jitter > 0 && s.cfg.Rand != nil {
 		r *= 1 + s.cfg.Jitter*(2*s.cfg.Rand.Float64()-1)
@@ -219,13 +239,19 @@ func (s *Simulator) effectiveRate(st Stage, n int) float64 {
 }
 
 // Step simulates cfg.StepDuration seconds of transfer with the given
-// thread counts (GET_UTILITY of Algorithm 1, minus the reward computation,
-// which belongs to the environment). Thread counts are clamped to be
-// non-negative. Buffer state persists across steps.
-func (s *Simulator) Step(nr, nn, nw int) Result {
+// concurrency tuple ⟨n_r, n_c, n_s, n_w⟩ (GET_UTILITY of Algorithm 1,
+// minus the reward computation, which belongs to the environment): nr
+// read threads, nc data connections carrying ns streams each (so the
+// network stage runs nc·ns workers whose aggregate rate is additionally
+// capped at nc·ConnMbps), and nw write threads. Counts are clamped to
+// be non-negative. Buffer state persists across steps.
+func (s *Simulator) Step(nr, nc, ns, nw int) Result {
 	cfg := &s.cfg
 	tEnd := cfg.StepDuration
 	var moved [3]float64
+
+	nc = max(0, nc)
+	nn := nc * max(0, ns)
 
 	s.q = s.q[:0]
 	seq := 0
@@ -236,11 +262,11 @@ func (s *Simulator) Step(nr, nn, nw int) Result {
 		}
 	}
 	schedule(Read, max(0, nr))
-	schedule(Network, max(0, nn))
+	schedule(Network, nn)
 	schedule(Write, max(0, nw))
 	heap.Init(&s.q)
 
-	counts := [3]int{max(0, nr), max(0, nn), max(0, nw)}
+	counts := [3]int{max(0, nr), nn, max(0, nw)}
 	const tiny = 1e-9
 
 	for s.q.Len() > 0 {
@@ -263,7 +289,7 @@ func (s *Simulator) Step(nr, nn, nw int) Result {
 			tNext = t + cfg.RetryDelay
 		} else {
 			chunk := math.Min(cfg.ChunkMb, avail)
-			rate := s.effectiveRate(tk.stage, counts[tk.stage])
+			rate := s.effectiveRate(tk.stage, counts[tk.stage], nc)
 			dTask := chunk / rate
 			if t+dTask > tEnd {
 				// Partial completion at the step boundary.

@@ -8,7 +8,11 @@ package static
 
 import "automdt/internal/env"
 
-// Controller applies a fixed concurrency to every stage.
+// Controller applies a fixed concurrency to every stage dimension: the
+// read, write, and connection counts are all Concurrency, with one
+// stream per connection (Globus's "concurrency" is its parallel
+// connection count), so the total network concurrency stays equal to the
+// other stages'.
 type Controller struct {
 	// Concurrency is the fixed stream count (paper's Globus setting: 4).
 	Concurrency int
@@ -25,17 +29,17 @@ func New(concurrency int) *Controller {
 // Name implements env.Controller.
 func (c *Controller) Name() string { return "static" }
 
-// Decide implements env.Controller: the same fixed value for all stages,
-// regardless of observed state.
+// Decide implements env.Controller: the same fixed value for every
+// dimension (one stream per connection), regardless of observed state.
 func (c *Controller) Decide(env.State) env.Action {
-	return env.Action{Threads: [3]int{c.Concurrency, c.Concurrency, c.Concurrency}}
+	return env.ActionOf(c.Concurrency, c.Concurrency, 1, c.Concurrency)
 }
 
 // Monolithic is an adaptive-but-coupled controller used in ablations: it
-// delegates to an inner controller and then forces all three stages to
-// the maximum of the chosen values, emulating the monolithic designs the
-// paper criticizes in §III (the slowest component dictates every stage's
-// concurrency).
+// delegates to an inner controller and then forces the read, conns, and
+// write dimensions to the maximum of the chosen values (one stream per
+// connection), emulating the monolithic designs the paper criticizes in
+// §III (the slowest component dictates every stage's concurrency).
 type Monolithic struct {
 	Inner env.Controller
 
@@ -50,13 +54,13 @@ func (m *Monolithic) Name() string { return "monolithic(" + m.Inner.Name() + ")"
 func (m *Monolithic) Decide(s env.State) env.Action {
 	a := m.Inner.Decide(s)
 	m.lastInner, m.haveInner = a, true
-	maxN := a.Threads[0]
-	for _, n := range a.Threads[1:] {
+	maxN := 1
+	for _, n := range a.N {
 		if n > maxN {
 			maxN = n
 		}
 	}
-	return env.Action{Threads: [3]int{maxN, maxN, maxN}}
+	return env.ActionOf(maxN, maxN, 1, maxN)
 }
 
 // ScoredAlternatives implements env.AlternativeScorer: the one candidate
@@ -69,7 +73,7 @@ func (m *Monolithic) ScoredAlternatives(s env.State) []env.ScoredAction {
 	}
 	return []env.ScoredAction{{
 		Action: m.lastInner,
-		Score:  env.Utility(s.Throughput, m.lastInner.Threads, env.DefaultK),
+		Score:  env.Utility(s.Throughput, m.lastInner, env.DefaultK),
 		Label:  "uncoupled",
 	}}
 }

@@ -17,9 +17,9 @@ func TestNewClampsToOne(t *testing.T) {
 func TestDecideConstant(t *testing.T) {
 	c := New(7)
 	for i := 0; i < 5; i++ {
-		s := env.State{Throughput: [3]float64{float64(i), 0, 100}}
-		if a := c.Decide(s); a.Threads != [3]int{7, 7, 7} {
-			t.Fatalf("decision %d: %v", i, a.Threads)
+		s := env.State{Throughput: env.ThroughputVec(float64(i), 0, 100)}
+		if a := c.Decide(s); a != env.ActionOf(7, 7, 1, 7) {
+			t.Fatalf("decision %d: %v", i, a.N)
 		}
 	}
 	if c.Name() != "static" {
@@ -28,17 +28,17 @@ func TestDecideConstant(t *testing.T) {
 }
 
 func TestMonolithicTakesMax(t *testing.T) {
-	inner := fixed{[3]int{3, 8, 1}}
+	inner := fixed{env.ActionOf(3, 1, 8, 2)}
 	m := &Monolithic{Inner: inner}
-	if a := m.Decide(env.State{}); a.Threads != [3]int{8, 8, 8} {
-		t.Fatalf("monolithic %v", a.Threads)
+	if a := m.Decide(env.State{}); a != env.ActionOf(8, 8, 1, 8) {
+		t.Fatalf("monolithic %v", a.N)
 	}
 	if m.Name() != "monolithic(fixed)" {
 		t.Fatalf("name %q", m.Name())
 	}
 }
 
-type fixed struct{ n [3]int }
+type fixed struct{ a env.Action }
 
 func (f fixed) Name() string                { return "fixed" }
-func (f fixed) Decide(env.State) env.Action { return env.Action{Threads: f.n} }
+func (f fixed) Decide(env.State) env.Action { return f.a }

@@ -1,6 +1,7 @@
 package transfer
 
 import (
+	"net"
 	"sync"
 	"time"
 
@@ -40,6 +41,10 @@ type Hooks struct {
 	// committed byte count (including ranges inherited by a resume) and
 	// the dataset total.
 	OnProgress func(committed, total int64)
+	// OnDataConn runs after each striped data connection is dialed and
+	// preambled, with its slot index and the live socket. Failure tests
+	// use it to kill one connection of a striped transfer mid-flight.
+	OnDataConn func(index int, conn net.Conn)
 	// OnDone runs exactly once when Sender.Run returns, with Run's
 	// result and error. Key success on err == nil: when the receiver
 	// completed but a sender-side error was recorded, both are non-nil.
@@ -80,6 +85,13 @@ type Config struct {
 	// InitialThreads is the starting concurrency for all stages.
 	// Default 1.
 	InitialThreads int
+	// Conns is the starting number of parallel data connections the
+	// sender stripes its chunks across (the controller's conns dimension;
+	// each connection carries InitialThreads network streams at start). A
+	// controller resizes it every probe interval like the thread pools.
+	// Default 1 — the legacy single-socket data plane. Peers below
+	// protocol 2 force one connection regardless.
+	Conns int
 	// SessionID names a resumable session. When set, the receiver
 	// persists a chunk ledger through the destination store (if it
 	// implements fsim.LedgerStore) and a later run with the same ID and
@@ -155,6 +167,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.InitialThreads <= 0 {
 		c.InitialThreads = 1
+	}
+	if c.Conns <= 0 {
+		c.Conns = 1
 	}
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 64

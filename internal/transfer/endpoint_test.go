@@ -157,7 +157,7 @@ func TestEndpointServesConcurrentSessions(t *testing.T) {
 		if r.Err != nil {
 			t.Fatalf("receiver failed sibling %s: %v", r.SessionID, r.Err)
 		}
-		want := 2
+		want := wire.ProtoVersion
 		if i == legacy {
 			want = 1
 		}

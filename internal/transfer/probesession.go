@@ -68,7 +68,7 @@ func NewProbeSession(ctx context.Context, cfg Config) (*ProbeSession, error) {
 	manifest := workload.LargeFiles(1024, 1<<30)
 
 	ctx, cancel := context.WithCancel(ctx)
-	pc := &probeController{want: env.Action{Threads: [3]int{1, 1, 1}}}
+	pc := &probeController{want: env.ActionOf(1, 1, 1, 1)}
 	ps := &ProbeSession{
 		interval: cfg.ProbeInterval,
 		ctrl:     pc,
@@ -94,11 +94,11 @@ func NewProbeSession(ctx context.Context, cfg Config) (*ProbeSession, error) {
 	return ps, nil
 }
 
-// Probe implements probe.Runner: apply the tuple, wait for the engine to
-// settle (two probe intervals), and report the measured per-stage rates
-// in Mbps.
-func (ps *ProbeSession) Probe(nr, nn, nw int) (tr, tn, tw float64) {
-	ps.ctrl.set(env.Action{Threads: [3]int{nr, nn, nw}})
+// Probe implements probe.Runner: apply the stage tuple, wait for the
+// engine to settle (two probe intervals), and report the measured
+// physical stage rates in Mbps.
+func (ps *ProbeSession) Probe(a env.Action) (tr, tn, tw float64) {
+	ps.ctrl.set(a)
 	_, before := ps.ctrl.state()
 	deadline := time.Now().Add(10 * ps.interval)
 	// Wait until at least two fresh controller observations arrive with
@@ -107,7 +107,8 @@ func (ps *ProbeSession) Probe(nr, nn, nw int) (tr, tn, tw float64) {
 		time.Sleep(ps.interval / 2)
 		st, seen := ps.ctrl.state()
 		if seen >= before+3 || time.Now().After(deadline) {
-			return st.Throughput[0], st.Throughput[1], st.Throughput[2]
+			return st.Throughput[env.StageRead], st.Throughput[env.StageConns],
+				st.Throughput[env.StageWrite]
 		}
 	}
 }

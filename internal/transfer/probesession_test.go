@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"automdt/internal/env"
 	"automdt/internal/probe"
 )
 
@@ -35,7 +36,7 @@ func TestProbeSessionMeasuresShapedPath(t *testing.T) {
 	// measure in the few-hundred-Mbps range once flowing.
 	var tr, tn, tw float64
 	for attempt := 0; attempt < 5; attempt++ {
-		tr, tn, tw = ps.Probe(4, 4, 4)
+		tr, tn, tw = ps.Probe(env.ActionOf(4, 2, 2, 4))
 		if tw > 0 {
 			break
 		}

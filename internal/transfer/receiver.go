@@ -170,6 +170,16 @@ func (s *rsession) addConn(conn net.Conn, rd io.Reader) {
 					pending.Release()
 				}
 				if !errors.Is(err, io.EOF) {
+					// A protocol ≥ 3 sender stripes the session across
+					// several data connections and survives losing one: it
+					// pulls the ledger and re-plans the lost chunks over the
+					// survivors. Losing this connection is therefore the
+					// sender's to repair, not a session failure. Older
+					// senders abort themselves on connection loss, so for
+					// them the error is surfaced here.
+					if s.proto >= 3 {
+						return
+					}
 					s.fail(err)
 					s.abort()
 				}
@@ -1036,6 +1046,15 @@ func (r *Receiver) runSession(parent context.Context, sess *rsession, ctrl *wire
 			chk.finished = true
 			chk.want = m.SumsDone.Files
 			chk.mu.Unlock()
+		case m.LedgerPull != nil:
+			// Striping recovery (protocol ≥ 3): answer with the current
+			// committed state so the sender re-plans only the chunks this
+			// endpoint never got. A send error here is a dying control
+			// channel, which ends the session through its own path.
+			ctrl.Send(wire.Message{LedgerState: &wire.LedgerState{
+				Seq:    m.LedgerPull.Seq,
+				Ledger: ledger.WireStates(),
+			}})
 		}
 	}
 

@@ -2,6 +2,7 @@ package transfer
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -38,11 +39,19 @@ type Result struct {
 	// WireBytes is the payload volume actually sent on the data
 	// connections by this run (the figure the resume e2e test bounds).
 	WireBytes int64
+	// ResentBytes is the payload volume re-sent by striping recovery
+	// after a data connection died mid-transfer: the lost chunks that had
+	// to cross the wire again on a surviving connection.
+	ResentBytes int64
 	// Recorder holds the per-tick concurrency and throughput traces
-	// (series: cc_read, cc_net, cc_write, thr_read, thr_net, thr_write),
-	// the raw material for the paper's figures.
+	// (series: cc_read, cc_conns, cc_streams, cc_net, cc_write, thr_read,
+	// thr_net, thr_write), the raw material for the paper's figures.
 	Recorder *metrics.Recorder
 }
+
+// errRunDone marks a data-plane operation that failed only because the
+// receiver already confirmed completion — a benign race, not an error.
+var errRunDone = errors.New("transfer: run already complete")
 
 // Sender is the source-side engine: a resizable read pool stages chunks
 // from the source store into a bounded buffer, and a resizable network
@@ -385,7 +394,7 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 	}()
 
 	var readCounter, netCounter metrics.Counter
-	var netTotal atomic.Int64
+	var netTotal, resentTotal atomic.Int64
 	var chunksStaged atomic.Int64
 	arena := cfg.arena()
 	readPerThread := newLimiterSet(cfg.Shaping.ReadPerThreadMbps, cfg.ChunkBytes)
@@ -460,67 +469,202 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 	}
 
 	// doneCh closes when the receiver confirms completion. Declared before
-	// the network pool because workers consult it on dial failure.
+	// the data plane because every dial and recovery path consults it.
 	doneCh := make(chan struct{})
 	var doneOnce sync.Once
 
-	netPool := NewPool(func(stop <-chan struct{}, id int) {
-		// The receiver closes its data listener the moment the transfer
-		// completes, so a worker spawned by a late pool grow can lose the
-		// dial race without anything being wrong. Retry briefly and give
-		// up quietly once the transfer is done; only persistent failure
-		// on a live transfer is fatal.
-		var conn net.Conn
-		for attempt := 0; ; attempt++ {
-			var err error
-			conn, err = net.Dial("tcp", dataAddr)
-			if err == nil {
-				break
-			}
-			if attempt >= 4 {
-				// Last re-check: completion may have landed during the
-				// final backoff, in which case this failure is benign.
+	// Striped data plane: the chunk stream fans out over a resizable set
+	// of parallel data connections. dialData carries the listener-race
+	// retry the single-conn engine had: the receiver closes its data
+	// listener the moment the transfer completes, so a dial prompted by a
+	// late grow can lose that race without anything being wrong.
+	dialData := func(index int) (net.Conn, error) {
+		var lastErr error
+		for attempt := 0; attempt < 5; attempt++ {
+			if attempt > 0 {
 				select {
 				case <-doneCh:
-					return
+					return nil, errRunDone
 				case <-ctx.Done():
-					return
-				default:
+					return nil, ctx.Err()
+				case <-time.After(time.Duration(attempt) * 5 * time.Millisecond):
 				}
-				s.failSymptom(fmt.Errorf("transfer: dial data: %w", err))
-				cancel()
-				return
 			}
+			conn, err := net.Dial("tcp", dataAddr)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if negotiated >= 2 {
+				// One preamble per connection, before the first frame; the
+				// endpoint demux routes the stream to this session by token.
+				if err := wire.WriteDataPreamble(conn, dataToken); err != nil {
+					conn.Close()
+					lastErr = err
+					continue
+				}
+			}
+			return conn, nil
+		}
+		select {
+		case <-doneCh:
+			return nil, errRunDone
+		default:
+		}
+		return nil, fmt.Errorf("transfer: dial data: %w", lastErr)
+	}
+	// Peers below protocol 2 get no data preamble, so the receiver has
+	// nothing to demux striped connections by: force one.
+	initialConns := cfg.Conns
+	if negotiated < 2 {
+		initialConns = 1
+	}
+	conns := newConnSet(initialConns, dialData, cfg.Hooks.OnDataConn)
+
+	// Mid-transfer ledger pulls (protocol ≥ 3): when a striped connection
+	// dies, recovery asks the receiver which chunks already committed so
+	// only the truly lost ones are re-sent. Replies are routed back to
+	// their waiting pull by sequence number.
+	var pullMu sync.Mutex
+	pullWaiters := make(map[uint64]chan []wire.FileState)
+	var pullSeq uint64
+	pullLedger := func() ([]wire.FileState, error) {
+		pullMu.Lock()
+		pullSeq++
+		seq := pullSeq
+		ch := make(chan []wire.FileState, 1)
+		pullWaiters[seq] = ch
+		pullMu.Unlock()
+		defer func() {
+			pullMu.Lock()
+			delete(pullWaiters, seq)
+			pullMu.Unlock()
+		}()
+		if err := ctrl.Send(wire.Message{LedgerPull: &wire.LedgerPull{Seq: seq}}); err != nil {
+			return nil, err
+		}
+		select {
+		case states := <-ch:
+			return states, nil
+		case <-doneCh:
+			return nil, errRunDone
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(30 * time.Second):
+			return nil, errors.New("transfer: ledger pull timed out")
+		}
+	}
+
+	// sendFrame stripes one frame across the live connections: a write
+	// failure retires the failed connection, hands its sent history to a
+	// recovery goroutine, and retries the in-hand frame on a surviving
+	// connection. Only a session with no live connection left fails.
+	var recoverWG sync.WaitGroup
+	var sendFrame func(f wire.Frame, hint int) error
+	var recoverConn func(c *dataConn, cause error)
+	sendFrame = func(f wire.Frame, hint int) error {
+		for {
+			c := conns.pick(hint)
+			if c == nil {
+				return errConnsExhausted
+			}
+			err := conns.write(c, f)
+			if err == nil {
+				return nil
+			}
+			if errors.Is(err, errRunDone) {
+				return err
+			}
+			if conns.markDead(c) {
+				recoverWG.Add(1)
+				go recoverConn(c, err)
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+		}
+	}
+	// recoverConn re-plans a dead connection's in-flight chunks: pull the
+	// receiver's ledger (protocol ≥ 3; older peers re-send the full
+	// history and rely on receiver-side duplicate dropping), subtract the
+	// committed chunks, re-read the rest straight from the source store,
+	// and re-stripe them over the surviving connections. The staged data
+	// plane is untouched — recovery bypasses the staging buffer, which
+	// may already be closed by the time a loss is noticed.
+	recoverConn = func(c *dataConn, cause error) {
+		defer recoverWG.Done()
+		history := c.takeHistory()
+		lost := history
+		if negotiated >= 3 && len(history) > 0 {
+			states, err := pullLedger()
+			switch {
+			case err == nil:
+				committed := NewLedger(sess.ID, chunkBytes, s.Manifest, false)
+				committed.ApplyWire(states)
+				kept := history[:0]
+				for _, cr := range history {
+					if !committed.Done(cr.fileID, cr.off) {
+						kept = append(kept, cr)
+					}
+				}
+				lost = kept
+			case errors.Is(err, errRunDone) || ctx.Err() != nil:
+				return
+			default:
+				// A failed pull on a live session falls back to re-sending
+				// the whole history; the receiver's ledger drops duplicates.
+			}
+		}
+		for _, cr := range lost {
 			select {
 			case <-doneCh:
 				return
-			case <-stop:
-				return
 			case <-ctx.Done():
 				return
-			case <-time.After(time.Duration(attempt+1) * 5 * time.Millisecond):
+			default:
 			}
-		}
-		defer conn.Close()
-		if negotiated >= 2 {
-			// One preamble per connection, before the first frame; the
-			// endpoint demux routes the stream to this session by token.
-			if err := wire.WriteDataPreamble(conn, dataToken); err != nil {
-				s.failSymptom(fmt.Errorf("transfer: send data preamble: %w", err))
+			r, err := readerFor(cr.fileID)
+			if err != nil {
+				s.fail(err)
 				cancel()
 				return
 			}
+			buf := arena.Get(int(cr.n))
+			if _, err := r.ReadAt(buf.Bytes(), cr.off); err != nil {
+				buf.Release()
+				s.fail(fmt.Errorf("transfer: re-read %s@%d after connection loss: %w",
+					s.Manifest[cr.fileID].Name, cr.off, err))
+				cancel()
+				return
+			}
+			f := wire.Frame{FileID: cr.fileID, Offset: cr.off, Data: buf.Bytes()}
+			if checksums {
+				f.Checksum, f.Sum, f.SumKnown = true, wire.PayloadCRC(buf.Bytes()), true
+			}
+			err = sendFrame(f, -1)
+			n := int64(len(f.Data))
+			buf.Release()
+			if err != nil {
+				if errors.Is(err, errRunDone) {
+					return
+				}
+				s.fail(fmt.Errorf("transfer: data connection %d lost (%v) and re-plan failed: %w",
+					c.index, cause, err))
+				cancel()
+				return
+			}
+			netTotal.Add(n)
+			resentTotal.Add(n)
 		}
+	}
+
+	netPool := NewPool(func(stop <-chan struct{}, id int) {
 		lim := netPerStream.get(id)
-		// Per-worker frame writer (header + writev scratch) and poll
-		// timer, so the steady-state loop allocates nothing.
-		var fw wire.FrameWriter
 		poll := newPollTimer()
 		defer poll.stop()
 		for {
 			select {
 			case <-stop:
-				fw.WriteEnd(conn)
 				return
 			case <-ctx.Done():
 				return
@@ -528,13 +672,11 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 			}
 			c, ok, closed := staging.TryGet()
 			if closed {
-				fw.WriteEnd(conn)
 				return
 			}
 			if !ok {
 				select {
 				case <-stop:
-					fw.WriteEnd(conn)
 					return
 				case <-ctx.Done():
 					return
@@ -551,14 +693,17 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 				return
 			}
 			span := flight.StageStart()
-			err := fw.Write(conn, wire.Frame{
+			err := sendFrame(wire.Frame{
 				FileID: c.FileID, Offset: c.Offset, Data: c.Data,
 				Checksum: checksums, Sum: c.Sum, SumKnown: checksums,
-			})
+			}, id)
 			flight.StageEnd(flight.StageNet, span)
 			n := int64(len(c.Data))
 			c.Release()
 			if err != nil {
+				if errors.Is(err, errRunDone) {
+					return
+				}
 				s.failSymptom(fmt.Errorf("transfer: send frame: %w", err))
 				cancel()
 				return
@@ -570,13 +715,22 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 	// Cleanup order matters: closing the staging buffer first wakes
 	// readers blocked in Put so the pool shutdowns cannot deadlock. Once
 	// both pools have exited, any chunks stranded in staging (aborted
-	// transfer) return their arena leases.
+	// transfer) return their arena leases. Connections close only after
+	// every recovery has wound down — a close at a frame boundary reads
+	// as a clean end-of-stream at the receiver, so no EndStream marker is
+	// needed (one would wrongly end a shared connection that recovery
+	// might still write to).
+	defer conns.closeAll()
 	defer func() {
 		staging.Close()
 		readPool.Shutdown()
 		netPool.Shutdown()
 		staging.ReleaseRemaining()
 	}()
+	// Recovery goroutines may outlive the workers that spawned them; they
+	// must finish (or observe completion/cancellation) before the reader
+	// cache and the connections go away.
+	defer recoverWG.Wait()
 
 	// Control reader: receiver statuses and completion. ctrlDone lets the
 	// shutdown path wait for a final receiver-reported root cause before
@@ -594,6 +748,15 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 					cancel()
 				}
 				return
+			}
+			if m.LedgerState != nil {
+				// Route a ledger-pull reply to its waiting recovery.
+				pullMu.Lock()
+				if ch, ok := pullWaiters[m.LedgerState.Seq]; ok {
+					ch <- m.LedgerState.Ledger
+				}
+				pullMu.Unlock()
+				continue
 			}
 			if m.Status == nil {
 				continue
@@ -613,8 +776,12 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 		}
 	}()
 
+	// Initial tuple: Conns connections each carrying InitialThreads
+	// streams (Conns defaults to 1, reproducing the legacy single-socket
+	// start), InitialThreads readers and writers.
 	readPool.Resize(cfg.InitialThreads)
-	netPool.Resize(cfg.InitialThreads)
+	streams := cfg.InitialThreads
+	netPool.Resize(conns.size() * streams)
 	writers := cfg.InitialThreads
 
 	rec := metrics.NewRecorder()
@@ -627,21 +794,28 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 		st := s.status()
 		dt := cfg.ProbeInterval.Seconds()
 		state := env.State{
-			Threads: [3]int{readPool.Size(), netPool.Size(), writers},
-			Throughput: [3]float64{
-				bytesToMb(readCounter.Reset()) / dt,
-				bytesToMb(netCounter.Reset()) / dt,
-				st.WriteMbps,
+			N: [env.StageCount]int{
+				env.StageRead:    readPool.Size(),
+				env.StageConns:   conns.size(),
+				env.StageStreams: streams,
+				env.StageWrite:   writers,
 			},
+			Throughput: env.ThroughputVec(
+				bytesToMb(readCounter.Reset())/dt,
+				bytesToMb(netCounter.Reset())/dt,
+				st.WriteMbps,
+			),
 			SenderFree:   bytesToMb(staging.Free()),
 			ReceiverFree: bytesToMb(st.BufFree),
 		}
-		rec.Series("cc_read").Record(now, float64(state.Threads[0]))
-		rec.Series("cc_net").Record(now, float64(state.Threads[1]))
-		rec.Series("cc_write").Record(now, float64(state.Threads[2]))
-		rec.Series("thr_read").Record(now, state.Throughput[0])
-		rec.Series("thr_net").Record(now, state.Throughput[1])
-		rec.Series("thr_write").Record(now, state.Throughput[2])
+		rec.Series("cc_read").Record(now, float64(state.N[env.StageRead]))
+		rec.Series("cc_conns").Record(now, float64(state.N[env.StageConns]))
+		rec.Series("cc_streams").Record(now, float64(state.N[env.StageStreams]))
+		rec.Series("cc_net").Record(now, float64(netPool.Size()))
+		rec.Series("cc_write").Record(now, float64(state.N[env.StageWrite]))
+		rec.Series("thr_read").Record(now, state.Throughput[env.StageRead])
+		rec.Series("thr_net").Record(now, state.Throughput[env.StageConns])
+		rec.Series("thr_write").Record(now, state.Throughput[env.StageWrite])
 		if h := cfg.Hooks.OnTick; h != nil {
 			h(state)
 		}
@@ -693,6 +867,7 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 				Resumed:      sess.Resumed,
 				SkippedBytes: skipped,
 				WireBytes:    netTotal.Load(),
+				ResentBytes:  resentTotal.Load(),
 				Recorder:     rec,
 			}, s.Err()
 		case <-ticker.C:
@@ -701,10 +876,15 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 				continue
 			}
 			act := decider.Decide(state).Clamp(cfg.MaxThreads)
-			readPool.Resize(act.Threads[0])
-			netPool.Resize(act.Threads[1])
-			if act.Threads[2] != writers {
-				writers = act.Threads[2]
+			if negotiated < 2 {
+				act.N[env.StageConns] = 1 // nothing to demux striped conns by
+			}
+			readPool.Resize(act.N[env.StageRead])
+			conns.setWant(act.N[env.StageConns])
+			streams = act.N[env.StageStreams]
+			netPool.Resize(act.N[env.StageConns] * streams)
+			if act.N[env.StageWrite] != writers {
+				writers = act.N[env.StageWrite]
 				if err := ctrl.Send(wire.Message{SetWriters: &wire.SetWriters{N: writers}}); err != nil {
 					// The receiver tears the control channel down the
 					// moment it confirms completion, so a probe tick can

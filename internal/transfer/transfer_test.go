@@ -272,7 +272,7 @@ func TestDynamicResizeMidTransfer(t *testing.T) {
 	ctrl := controllerFunc(func(s env.State) env.Action {
 		step++
 		n := 1 + (step*3)%10
-		return env.Action{Threads: [3]int{n, 11 - n, n}}
+		return env.ActionOf(n, 1+n%3, 11-n, n)
 	})
 	_, err := Loopback(context.Background(), cfg, m, src, dst, ctrl)
 	if err != nil {
@@ -294,9 +294,9 @@ func (f controllerFunc) Decide(s env.State) env.Action { return f(s) }
 
 func TestMarlinDecideBootstrapsUpward(t *testing.T) {
 	o := marlin.New()
-	s := env.State{Threads: [3]int{1, 1, 1}, Throughput: [3]float64{10, 10, 10}}
+	s := env.State{N: [env.StageCount]int{1, 1, 1, 1}, Throughput: env.StageVec{10, 10, 10, 10}}
 	a := o.Decide(s)
-	for i, n := range a.Threads {
+	for i, n := range a.N {
 		if n != 2 {
 			t.Fatalf("stage %d: bootstrap action %d want 2", i, n)
 		}
@@ -306,11 +306,11 @@ func TestMarlinDecideBootstrapsUpward(t *testing.T) {
 func TestMarlinReversesOnUtilityDrop(t *testing.T) {
 	o := marlin.New()
 	// Step 1: bootstrap from n=4.
-	o.Decide(env.State{Threads: [3]int{4, 4, 4}, Throughput: [3]float64{100, 100, 100}})
+	o.Decide(env.State{N: [env.StageCount]int{4, 4, 4, 4}, Throughput: env.StageVec{100, 100, 100, 100}})
 	// Step 2: we moved to n=5 and throughput collapsed → utility drop →
 	// next decision must go below 5.
-	a := o.Decide(env.State{Threads: [3]int{5, 5, 5}, Throughput: [3]float64{20, 20, 20}})
-	for i, n := range a.Threads {
+	a := o.Decide(env.State{N: [env.StageCount]int{5, 5, 5, 5}, Throughput: env.StageVec{20, 20, 20, 20}})
+	for i, n := range a.N {
 		if n >= 5 {
 			t.Fatalf("stage %d: no reversal after utility drop (n=%d)", i, n)
 		}
@@ -319,9 +319,9 @@ func TestMarlinReversesOnUtilityDrop(t *testing.T) {
 
 func TestStaticControllerIgnoresState(t *testing.T) {
 	c := static.New(4)
-	a := c.Decide(env.State{Throughput: [3]float64{1, 2, 3}})
-	if a.Threads != [3]int{4, 4, 4} {
-		t.Fatalf("static action %v", a.Threads)
+	a := c.Decide(env.State{Throughput: env.ThroughputVec(1, 2, 3)})
+	if a != env.ActionOf(4, 4, 1, 4) {
+		t.Fatalf("static action %v", a.N)
 	}
 	if static.New(0).Concurrency != 1 {
 		t.Fatal("zero concurrency should clamp to 1")
@@ -330,11 +330,11 @@ func TestStaticControllerIgnoresState(t *testing.T) {
 
 func TestMonolithicWrapperCouplesStages(t *testing.T) {
 	inner := controllerFunc(func(env.State) env.Action {
-		return env.Action{Threads: [3]int{2, 9, 5}}
+		return env.ActionOf(2, 1, 9, 5)
 	})
 	mono := &static.Monolithic{Inner: inner}
 	a := mono.Decide(env.State{})
-	if a.Threads != [3]int{9, 9, 9} {
-		t.Fatalf("monolithic action %v want all 9", a.Threads)
+	if a != env.ActionOf(9, 9, 1, 9) {
+		t.Fatalf("monolithic action %v want all 9", a.N)
 	}
 }

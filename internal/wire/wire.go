@@ -24,9 +24,12 @@ import (
 // un-preambled data connections route to the endpoint's single legacy
 // session slot — but compatibility is one-way: a v1+ sender waits for a
 // Welcome that a v0 receiver will never send, so receivers must be
-// upgraded before senders. docs/PROTOCOL.md specifies all three
-// generations.
-const ProtoVersion = 2
+// upgraded before senders. Version 3 adds mid-transfer ledger pulls
+// (LedgerPull/LedgerState): a sender striping one session across many
+// data connections asks for the receiver's committed state when one of
+// them dies, and re-plans only the chunks that never landed instead of
+// failing the attempt. docs/PROTOCOL.md specifies all generations.
+const ProtoVersion = 3
 
 // DataTokenBytes is the decoded length of a session's data-routing token
 // (Welcome.DataToken is its hex encoding).
@@ -310,6 +313,21 @@ type SetWriters struct {
 	N int
 }
 
+// LedgerPull asks the receiver for its current chunk ledger mid-transfer
+// (protocol ≥ 3). A sender that loses one of its striped data
+// connections pulls the committed state and re-sends only the lost
+// chunks. Seq matches the request to its LedgerState reply.
+type LedgerPull struct {
+	Seq uint64
+}
+
+// LedgerState is the receiver's reply to a LedgerPull: the same per-file
+// committed-chunk states a Welcome advertises, but taken mid-transfer.
+type LedgerState struct {
+	Seq    uint64
+	Ledger []FileState
+}
+
 // Status is the receiver's periodic report: written bytes, staging
 // occupancy, and write throughput — the sender-side agent's view of the
 // far end.
@@ -330,12 +348,14 @@ type Status struct {
 
 // Message is the control-channel envelope; exactly one field is non-nil.
 type Message struct {
-	Hello      *Hello
-	Welcome    *Welcome
-	SetWriters *SetWriters
-	FileSum    *FileSum
-	SumsDone   *SumsDone
-	Status     *Status
+	Hello       *Hello
+	Welcome     *Welcome
+	SetWriters  *SetWriters
+	FileSum     *FileSum
+	SumsDone    *SumsDone
+	Status      *Status
+	LedgerPull  *LedgerPull
+	LedgerState *LedgerState
 }
 
 // Conn wraps a control connection with gob encoding in both directions.
