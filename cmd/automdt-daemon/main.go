@@ -59,6 +59,7 @@ func main() {
 	opt := flag.String("optimizer", "marlin", "per-job optimizer: marlin, static, automdt")
 	endpoint := flag.Bool("endpoint", false, "run all jobs against one shared multi-session receiver endpoint instead of one private receiver per job")
 	maxSessions := flag.Int("max-sessions", 0, "shared endpoint admission cap (with -endpoint; 0 = default 64)")
+	kioMode := flag.String("kio", "auto", "kernel-assisted I/O fast path for the endpoint receiver: auto, on, or off")
 	cc := flag.Int("cc", 4, "static optimizer concurrency")
 	model := flag.String("model", "", "automdt agent checkpoint (from automdt-train)")
 	profilePath := flag.String("profile", "", "automdt probed profile JSON (from automdt-train)")
@@ -114,7 +115,7 @@ func main() {
 	var runner sched.Runner = &sched.LoopbackRunner{}
 	if *endpoint {
 		er := &sched.EndpointRunner{
-			Receiver: transfer.Config{MaxSessions: *maxSessions},
+			Receiver: transfer.Config{MaxSessions: *maxSessions, KioMode: *kioMode},
 		}
 		defer er.Close()
 		runner = er

@@ -1,16 +1,30 @@
 package sched
 
 // jobQueue is a max-heap of queued jobs ordered by descending priority,
-// FIFO (ascending job ID) among equal priorities. Jobs cancelled while
-// queued stay in the heap and are skipped lazily at pop time, which keeps
-// Cancel O(1).
+// then by descending committed fraction — a resumed job that is 90% done
+// finishes (and frees its ledger, budget share, and the user's attention)
+// before one that has barely started — and FIFO (ascending job ID) as the
+// final tie-break. Jobs cancelled while queued stay in the heap and are
+// skipped lazily at pop time, which keeps Cancel O(1).
 type jobQueue []*Job
 
 func (q jobQueue) Len() int { return len(q) }
 
+// fraction is the job's committed share of its dataset, using the total
+// cached at Submit. Guarded by the scheduler's lock, like every heap op.
+func fraction(j *Job) float64 {
+	if j.totalBytes <= 0 {
+		return 0
+	}
+	return float64(j.committed) / float64(j.totalBytes)
+}
+
 func (q jobQueue) Less(i, j int) bool {
 	if q[i].Spec.Priority != q[j].Spec.Priority {
 		return q[i].Spec.Priority > q[j].Spec.Priority
+	}
+	if fi, fj := fraction(q[i]), fraction(q[j]); fi != fj {
+		return fi > fj
 	}
 	return q[i].ID < q[j].ID
 }

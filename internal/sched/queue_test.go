@@ -1,0 +1,62 @@
+package sched
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// Three resumed jobs at 10%, 50%, and 90% committed and equal priority
+// must pop nearest-completion first: finishing the 90% job frees its
+// ledger and budget share soonest.
+func TestQueueOrdersByCommittedFraction(t *testing.T) {
+	mk := func(id int64, committed, total int64) *Job {
+		return &Job{ID: id, committed: committed, totalBytes: total}
+	}
+	q := jobQueue{
+		mk(1, 10<<20, 100<<20), // 10%
+		mk(2, 50<<20, 100<<20), // 50%
+		mk(3, 90<<20, 100<<20), // 90%
+	}
+	heap.Init(&q)
+	var got []int64
+	for q.Len() > 0 {
+		got = append(got, heap.Pop(&q).(*Job).ID)
+	}
+	want := []int64{3, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+// Priority still dominates: a low-priority job about to finish must not
+// jump a high-priority fresh one. Equal fractions fall back to FIFO.
+func TestQueuePriorityBeatsFractionAndFIFOTieBreak(t *testing.T) {
+	hi := &Job{ID: 5, totalBytes: 1 << 20}
+	hi.Spec.Priority = 2
+	lo := &Job{ID: 1, committed: 1<<20 - 1, totalBytes: 1 << 20}
+	lo.Spec.Priority = 1
+	q := jobQueue{lo, hi}
+	heap.Init(&q)
+	if id := heap.Pop(&q).(*Job).ID; id != 5 {
+		t.Fatalf("priority lost to fraction: popped job %d", id)
+	}
+
+	a := &Job{ID: 7, committed: 512, totalBytes: 1024}
+	b := &Job{ID: 8, committed: 512, totalBytes: 1024}
+	a.Spec.Priority, b.Spec.Priority = 1, 1
+	q = jobQueue{b, a}
+	heap.Init(&q)
+	if id := heap.Pop(&q).(*Job).ID; id != 7 {
+		t.Fatalf("equal fractions did not fall back to FIFO: popped job %d", id)
+	}
+
+	// A job with no manifest bytes (defensive: Submit rejects these)
+	// counts as 0% rather than dividing by zero.
+	z := &Job{ID: 9}
+	z.Spec.Priority = 1
+	if f := fraction(z); f != 0 {
+		t.Fatalf("zero-total fraction = %v, want 0", f)
+	}
+}

@@ -127,6 +127,10 @@ type Job struct {
 	// progress, updated every probe tick.
 	skipped   int64
 	committed int64
+	// totalBytes caches Spec.Manifest.TotalBytes() at Submit so the run
+	// queue can order jobs by committed fraction without walking the
+	// manifest on every heap comparison.
+	totalBytes int64
 }
 
 // JobStatus is an immutable snapshot of a job, JSON-shaped for the
@@ -386,13 +390,14 @@ func (s *Scheduler) Submit(spec JobSpec) (int64, error) {
 	}
 	now := time.Now()
 	job := &Job{
-		ID:        s.nextID,
-		Spec:      spec,
-		state:     Queued,
-		submitted: now,
-		queuedAt:  now,
-		done:      make(chan struct{}),
-		session:   session,
+		ID:         s.nextID,
+		Spec:       spec,
+		state:      Queued,
+		submitted:  now,
+		queuedAt:   now,
+		done:       make(chan struct{}),
+		session:    session,
+		totalBytes: spec.Manifest.TotalBytes(),
 	}
 	// Every attempt carries the session ID, so the retry path resumes
 	// the interrupted session rather than re-queueing a fresh transfer.

@@ -651,11 +651,20 @@ type budgetWriter struct {
 
 func (w *budgetWriter) WriteAt(p []byte, off int64) (int, error) {
 	w.store.mu.Lock()
-	w.store.budget -= int64(len(p))
-	ok := w.store.budget >= 0
+	fit := w.store.budget
+	if fit > int64(len(p)) {
+		fit = int64(len(p))
+	}
+	w.store.budget -= fit
 	w.store.mu.Unlock()
-	if !ok {
-		return 0, errors.New("disk full (injected)")
+	if fit < int64(len(p)) {
+		// A real disk that fills mid-write shorts the write: the bytes
+		// that fit are on disk and the caller learns how many.
+		n, err := w.inner.WriteAt(p[:fit], off)
+		if err != nil {
+			return n, err
+		}
+		return n, errors.New("disk full (injected)")
 	}
 	return w.inner.WriteAt(p, off)
 }

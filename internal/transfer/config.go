@@ -7,6 +7,7 @@ import (
 
 	"automdt/internal/env"
 	"automdt/internal/rate"
+	"automdt/internal/wire"
 )
 
 // Shaping configures the emulated testbed's rate caps in Mbps. Zero
@@ -125,6 +126,15 @@ type Config struct {
 	// state of sessions that were abandoned rather than resumed. Zero
 	// means the 30-day default; negative disables expiry.
 	LedgerTTL time.Duration
+	// KioMode selects the kernel-assisted I/O fast path: "auto" (the
+	// default; on wherever the platform supports it), "on", or "off".
+	// When enabled, the sender batches contiguous chunk runs — one read,
+	// one CRC-32C pass, coalesced frames when the receiver advertises
+	// kio — and sendfile(2)s unmodified on-disk ranges on unchecksummed
+	// file-backed transfers; the receiver flushes adjacent chunks with
+	// one pwritev(2) per batch. "off" (and any non-Linux build) keeps
+	// the portable per-chunk path, byte-for-byte identical on the wire.
+	KioMode string
 	// Shaping holds the emulated rate caps.
 	Shaping Shaping
 	// Hooks observe the transfer lifecycle (job-scoped; optional).
@@ -147,6 +157,13 @@ func (c Config) arena() *Arena {
 
 // checksums reports whether the session verifies integrity (the default).
 func (c Config) checksums() bool { return !c.DisableChecksums }
+
+// kioEnabled resolves KioMode against the platform capability: true for
+// "on"/"auto" (the default) where the build carries the kernel-assisted
+// path, false for "off" or any non-Linux build.
+func (c Config) kioEnabled() bool {
+	return c.KioMode != "off" && wire.KioAvailable()
+}
 
 // WithDefaults returns cfg with zero fields replaced by defaults.
 func (c Config) WithDefaults() Config {
@@ -179,6 +196,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.LedgerCompactBytes == 0 {
 		c.LedgerCompactBytes = 1 << 20
+	}
+	if c.KioMode == "" {
+		c.KioMode = "auto"
 	}
 	return c
 }

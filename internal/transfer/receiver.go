@@ -10,6 +10,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"automdt/internal/flight"
@@ -29,6 +30,10 @@ import (
 // disturb its siblings. Admission is capped by Config.MaxSessions, and
 // stale session ledgers older than Config.LedgerTTL are expired when the
 // endpoint starts serving.
+// commitBatchChunks caps the receiver's adaptive write batch: at most
+// this many staged chunks drain together into one vectored flush.
+const commitBatchChunks = 16
+
 type Receiver struct {
 	Cfg   Config
 	Store fsim.Store
@@ -792,6 +797,9 @@ func (r *Receiver) runSession(parent context.Context, sess *rsession, ctrl *wire
 			ChunkBytes:   chunkBytes,
 			Ledger:       ledger.WireStates(),
 			DataToken:    sess.token,
+			// Advertising kio invites coalesced multi-chunk frames, which
+			// the write path below splits back into per-chunk commits.
+			Kio: r.Cfg.kioEnabled(),
 		}}); err != nil {
 			return fmt.Errorf("transfer: send welcome: %w", err)
 		}
@@ -876,10 +884,105 @@ func (r *Receiver) runSession(parent context.Context, sess *rsession, ctrl *wire
 		// complete): the session is done as soon as it starts.
 		writeOnce.Do(func() { close(writeDone) })
 	}
-	pool := NewPool(func(stop <-chan struct{}, id int) {
+	// chunkCommitted reports whether every ledger chunk a staged payload
+	// covers is already committed (a staged chunk spans several when a
+	// kio sender coalesced a run into one frame).
+	chunkCommitted := func(c *Chunk) bool {
+		for off := c.Offset; off < c.Offset+int64(len(c.Data)); off += int64(chunkBytes) {
+			if !ledger.Done(c.FileID, off) {
+				return false
+			}
+		}
+		return true
+	}
+	// commitPrefix splits the first limit written bytes of a payload back
+	// into per-chunk ledger commits (limit < len(Data) after a short
+	// write: only the pieces wholly on disk commit). Each piece is hashed
+	// at this last stage before the lease is returned: the sum reflects
+	// what actually reached the store, so the FileSum compare is
+	// end-to-end, not an echo of the already-verified wire CRC.
+	commitPrefix := func(c *Chunk, limit int) {
+		if limit > len(c.Data) {
+			limit = len(c.Data)
+		}
+		data, offset := c.Data, c.Offset
+		for len(data) > 0 {
+			n := chunkBytes
+			if len(data) < n {
+				n = len(data)
+			}
+			if n > limit {
+				return // the rest of the payload never reached the store
+			}
+			limit -= n
+			if !ledger.Done(c.FileID, offset) {
+				var sum uint32
+				if h.Checksums {
+					sum = wire.PayloadCRC(data[:n])
+				}
+				if ledger.Commit(c.FileID, offset, n, sum) {
+					if h.Checksums {
+						checkFile(c.FileID)
+					}
+					if ledger.CommittedBytes() >= total {
+						writeOnce.Do(func() { close(writeDone) })
+					}
+				}
+			}
+			data = data[n:]
+			offset += int64(n)
+		}
+	}
+	// kioBatch turns on the vectored flush: adjacent staged chunks drain
+	// together and land with one pwritev when the destination file
+	// exposes a raw descriptor. Off (or for a destination without
+	// descriptors), every chunk takes the portable one-WriteAt path.
+	// Shaped write stages keep chunk-at-a-time flushes: a rate-bound
+	// stage gains nothing from syscall batching, and batching would lump
+	// the paced writes into end-of-window bursts.
+	kioBatch := r.Cfg.kioEnabled() &&
+		r.Cfg.Shaping.WritePerThreadMbps <= 0 && r.Cfg.Shaping.WriteAggMbps <= 0
+	// flushGroup writes one adjacent same-file group and reports how many
+	// leading bytes are durably on disk — on a short write or mid-group
+	// error the caller still commits the chunk-grid pieces inside that
+	// prefix, so the failure loses no resume granularity. A pwritev
+	// refusal (no descriptor) falls back to per-chunk WriteAt —
+	// positioned writes are idempotent, so a partially applied vector is
+	// simply rewritten.
+	flushGroup := func(w fsim.FileWriter, group []Chunk, iovs [][]byte) (int64, error) {
+		if kioBatch && len(group) > 1 {
+			if fd, ok := w.(syscall.Conn); ok {
+				iovs = iovs[:0]
+				for i := range group {
+					iovs = append(iovs, group[i].Data)
+				}
+				written, err := wire.Pwritev(fd, iovs, group[0].Offset)
+				if err == nil || !errors.Is(err, wire.ErrKioUnsupported) {
+					return written, err
+				}
+			}
+		}
+		var written int64
+		for i := range group {
+			wire.CountIOOps(1)
+			n, err := w.WriteAt(group[i].Data, group[i].Offset)
+			written += int64(n)
+			if err != nil {
+				return written, err
+			}
+			if n < len(group[i].Data) {
+				return written, io.ErrShortWrite
+			}
+		}
+		return written, nil
+	}
+	var pool *Pool
+	pool = NewPool(func(stop <-chan struct{}, id int) {
 		lim := perThread.get(id)
 		poll := newPollTimer()
 		defer poll.stop()
+		var batch []Chunk
+		var iovs [][]byte
 		for {
 			select {
 			case <-stop:
@@ -888,11 +991,24 @@ func (r *Receiver) runSession(parent context.Context, sess *rsession, ctrl *wire
 				return
 			default:
 			}
-			c, ok, closed := staging.TryGet()
-			if closed {
-				return
+			// Batch size adapts to the env's write-stage dimension: a
+			// deep backlog shared over few writers drains in large
+			// vectors, a keeping-up pool degenerates to chunk-at-a-time.
+			k := 1
+			if kioBatch {
+				if w := pool.Size(); w > 0 {
+					k = 1 + staging.Len()/w
+				}
+				if k > commitBatchChunks {
+					k = commitBatchChunks
+				}
 			}
-			if !ok {
+			var closed bool
+			batch, closed = staging.TryGetN(batch[:0], k)
+			if len(batch) == 0 {
+				if closed {
+					return
+				}
 				select {
 				case <-stop:
 					return
@@ -902,57 +1018,87 @@ func (r *Receiver) runSession(parent context.Context, sess *rsession, ctrl *wire
 				}
 				continue
 			}
-			if ledger.Done(c.FileID, c.Offset) {
-				// Duplicate of a committed chunk (resume overlap or a
-				// replayed frame): drop it without touching the disk.
-				c.Release()
+			// Drop duplicates of committed chunks (resume overlap or a
+			// replayed frame) without touching the disk.
+			keep := batch[:0]
+			for i := range batch {
+				if chunkCommitted(&batch[i]) {
+					batch[i].Release()
+					continue
+				}
+				keep = append(keep, batch[i])
+			}
+			batch = keep
+			if len(batch) == 0 {
 				continue
 			}
-			if err := lim.WaitN(ctx, len(c.Data)); err != nil {
-				c.Release()
-				return
-			}
-			if err := agg.WaitN(ctx, len(c.Data)); err != nil {
-				c.Release()
-				return
-			}
-			w, err := writerFor(c.FileID)
-			if err != nil {
-				c.Release()
-				sess.fail(err)
-				cancel()
-				return
-			}
-			span := flight.StageStart()
-			_, err = w.WriteAt(c.Data, c.Offset)
-			flight.StageEnd(flight.StageWrite, span)
-			n := int64(len(c.Data))
-			fileID, offset := c.FileID, c.Offset
-			var sum uint32
-			if h.Checksums {
-				// Hash at the last stage before the lease is returned:
-				// this sum reflects what actually reached the store, so
-				// the FileSum compare is end-to-end, not an echo of the
-				// already-verified wire CRC.
-				sum = wire.PayloadCRC(c.Data)
-			}
-			// The arena lease ends only once the write has committed (or
-			// failed): this is the last stage of the chunk lifecycle.
-			c.Release()
-			if err != nil {
-				sess.fail(err)
-				cancel()
-				return
-			}
-			writeCounter.Add(n)
-			written.Add(n)
-			if ledger.Commit(fileID, offset, int(n), sum) {
-				if h.Checksums {
-					checkFile(fileID)
+			// Reserve shaping tokens chunk by chunk so a shaped write
+			// stage paces a batched flush the same as per-chunk writes.
+			aborted := false
+			for i := range batch {
+				sz := len(batch[i].Data)
+				if err := lim.WaitN(ctx, sz); err != nil {
+					aborted = true
+					break
 				}
-				if ledger.CommittedBytes() >= total {
-					writeOnce.Do(func() { close(writeDone) })
+				if err := agg.WaitN(ctx, sz); err != nil {
+					aborted = true
+					break
 				}
+			}
+			if aborted { // limiter wait cancelled: the session is coming down
+				for i := range batch {
+					batch[i].Release()
+				}
+				return
+			}
+			// Flush adjacent same-file groups, then split each written
+			// payload into per-chunk commits. The arena lease ends only
+			// once its chunk has committed (or failed): the commit path
+			// re-hashes the payload, so the buffer must still be live.
+			i := 0
+			for i < len(batch) {
+				j := i + 1
+				for j < len(batch) &&
+					batch[j].FileID == batch[i].FileID &&
+					batch[j].Offset == batch[j-1].Offset+int64(len(batch[j-1].Data)) {
+					j++
+				}
+				group := batch[i:j]
+				var wrote int64
+				w, err := writerFor(group[0].FileID)
+				if err == nil {
+					span := flight.StageStart()
+					wrote, err = flushGroup(w, group, iovs)
+					flight.StageEnd(flight.StageWrite, span)
+				}
+				// Commit every chunk-grid piece inside the durably written
+				// prefix — a short write or mid-group failure must not
+				// forfeit ledger granularity, or a retry would re-send
+				// bytes that are already on disk.
+				for d := range group {
+					c := &group[d]
+					lim := int64(len(c.Data))
+					if lim > wrote {
+						lim = wrote
+					}
+					if lim > 0 {
+						commitPrefix(c, int(lim))
+						writeCounter.Add(lim)
+						written.Add(lim)
+					}
+					wrote -= lim
+					c.Release()
+				}
+				if err != nil {
+					for i = j; i < len(batch); i++ {
+						batch[i].Release()
+					}
+					sess.fail(err)
+					cancel()
+					return
+				}
+				i = j
 			}
 		}
 	})

@@ -177,6 +177,10 @@ func TestResumeRevalidatesCorruptRegion(t *testing.T) {
 	cfg.SessionID = session
 	cfg.ProbeInterval = 25 * time.Millisecond
 	cfg.Shaping.LinkMbps = 100
+	// The kill poller waits for the third chunk of file 0 to commit, so
+	// commits must land chunk by chunk; kio's coalesced frames would
+	// commit whole runs at once and race the window shut.
+	cfg.KioMode = "off"
 
 	dst1, err := fsim.NewDirStore(dir)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"automdt/internal/env"
@@ -52,6 +53,24 @@ type Result struct {
 // errRunDone marks a data-plane operation that failed only because the
 // receiver already confirmed completion — a benign race, not an error.
 var errRunDone = errors.New("transfer: run already complete")
+
+// kioRunChunks bounds a kio read run in chunks: 16 is 4 MiB at the
+// default chunk size, an exact arena size class, so a run's lease
+// wastes nothing.
+const kioRunChunks = 16
+
+// sendBatchChunks bounds how many staged chunks a kio network worker
+// drains per iteration: the batch shares one vectored frame write and
+// one rate-limiter reservation.
+const sendBatchChunks = 8
+
+// isKioRefusal classifies data-plane errors that mean "this file or
+// filesystem cannot be spliced" rather than "the connection died".
+func isKioRefusal(err error) bool {
+	return errors.Is(err, syscall.EINVAL) ||
+		errors.Is(err, syscall.ENOSYS) ||
+		errors.Is(err, syscall.EOPNOTSUPP)
+}
 
 // Sender is the source-side engine: a resizable read pool stages chunks
 // from the source store into a bounded buffer, and a resizable network
@@ -142,6 +161,17 @@ func newChunker(m workload.Manifest, chunkBytes int, skip *Ledger) *chunker {
 // next returns the next planned chunk reference, or ok=false when
 // exhausted.
 func (c *chunker) next() (fileID uint32, off int64, n int, ok bool) {
+	fid, off64, n64, _, ok := c.nextRun(0)
+	return fid, off64, int(n64), ok
+}
+
+// nextRun returns the next planned contiguous run: one or more adjacent
+// chunks of a single file, none skipped by the resume ledger, totalling
+// at most maxBytes (maxBytes below one chunk degenerates to next()'s
+// single-chunk behavior). The kio read stage leases and reads a whole
+// run at once — one ReadAt and one CRC-32C pass over pieces chunks
+// instead of pieces of each.
+func (c *chunker) nextRun(maxBytes int64) (fileID uint32, off int64, n int64, pieces int, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {
@@ -150,19 +180,37 @@ func (c *chunker) next() (fileID uint32, off int64, n int, ok bool) {
 			c.off = 0
 		}
 		if c.fi >= len(c.files) {
-			return 0, 0, 0, false
+			return 0, 0, 0, 0, false
 		}
 		f := c.files[c.fi]
 		size := c.chunk
 		if c.off+size > f.Size {
 			size = f.Size - c.off
 		}
-		fileID, off, n = uint32(c.fi), c.off, int(size)
+		fileID, off = uint32(c.fi), c.off
 		c.off += size
 		if c.skip != nil && c.skip.Done(fileID, off) {
 			continue // committed in a previous attempt; not re-read
 		}
-		return fileID, off, n, true
+		n, pieces = size, 1
+		// Extend through adjacent planned chunks while they fit. A skipped
+		// chunk ends the run: the wire frame must stay one unbroken range.
+		for c.off < f.Size {
+			size = c.chunk
+			if c.off+size > f.Size {
+				size = f.Size - c.off
+			}
+			if n+size > maxBytes {
+				break
+			}
+			if c.skip != nil && c.skip.Done(fileID, c.off) {
+				break
+			}
+			n += size
+			pieces++
+			c.off += size
+		}
+		return fileID, off, n, pieces, true
 	}
 }
 
@@ -280,6 +328,7 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 		ProtoVersion:     helloProto,
 		SessionID:        cfg.SessionID,
 		Checksums:        checksums,
+		Kio:              cfg.kioEnabled(),
 	}}); err != nil {
 		return nil, fmt.Errorf("transfer: send hello: %w", err)
 	}
@@ -347,6 +396,28 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 	}
 	planned := total - skipped
 
+	// Kernel-assisted I/O plan. kio alone batches work without changing
+	// the wire: runs of adjacent chunks are leased, read, and CRC'd
+	// together, and per-chunk frames go out in one vectored write per
+	// batch. kioFrames (the receiver advertised the capability) further
+	// coalesces each run into a single multi-chunk frame, which the
+	// receiver splits back into per-chunk ledger commits. On
+	// unchecksummed file-backed transfers, runs become kernel-owned:
+	// the payload never enters userspace — the network stage emits the
+	// header and sendfile(2)s the range. kioBroken latches a runtime
+	// refusal (filesystem without sendfile support) and drops the
+	// session back to buffered sends.
+	kio := cfg.kioEnabled()
+	kioFrames := kio && welcome.Kio
+	var kioBroken atomic.Bool
+	runBytes := int64(chunkBytes)
+	if kioFrames {
+		runBytes = int64(chunkBytes) * kioRunChunks
+		if runBytes > wire.MaxChunk {
+			runBytes = wire.MaxChunk
+		}
+	}
+
 	staging := NewStaging(cfg.SenderBufBytes)
 	src := newChunker(s.Manifest, chunkBytes, resume)
 
@@ -402,8 +473,25 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 	netPerStream := newLimiterSet(cfg.Shaping.NetPerStreamMbps, cfg.ChunkBytes)
 	link := newLimiter(cfg.Shaping.LinkMbps, cfg.ChunkBytes)
 
+	// kioOwnedFile reports whether a file's runs can be kernel-owned:
+	// unchecksummed session, kio enabled and not runtime-refused, and a
+	// source reader exposing a raw descriptor for sendfile (DirStore's
+	// *os.File does; synthetic stores don't).
+	kioOwnedFile := func(id uint32) bool {
+		if !kio || checksums || kioBroken.Load() {
+			return false
+		}
+		r, err := readerFor(id)
+		if err != nil {
+			return false // the buffered read path surfaces the error
+		}
+		_, ok := r.(syscall.Conn)
+		return ok
+	}
+
 	readPool := NewPool(func(stop <-chan struct{}, id int) {
 		lim := readPerThread.get(id)
+		var sums []uint32
 		for {
 			select {
 			case <-stop:
@@ -412,15 +500,29 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 				return
 			default:
 			}
-			fileID, off, n, ok := src.next()
+			fileID, off, n64, pieces, ok := src.nextRun(runBytes)
 			if !ok {
 				return
 			}
+			n := int(n64)
 			if err := lim.WaitN(ctx, n); err != nil {
 				return
 			}
 			if err := readAgg.WaitN(ctx, n); err != nil {
 				return
+			}
+			if kioOwnedFile(fileID) {
+				// Kernel-owned run: no lease, no read, no copy. The network
+				// stage emits the header and sendfile(2)s the range straight
+				// from the source file into the socket.
+				if !staging.Put(Chunk{FileID: fileID, Offset: off, Kio: true, N: n}) {
+					return
+				}
+				if chunksStaged.Add(int64(pieces)) == src.total {
+					sendSumsDone()
+					staging.Close() // all chunks staged; network drains the rest
+				}
+				continue
 			}
 			r, err := readerFor(fileID)
 			if err != nil {
@@ -428,9 +530,10 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 				cancel()
 				return
 			}
-			// One arena lease per chunk, full and tail sizes alike; the
-			// lease rides the chunk through staging and is released by the
-			// network worker after the frame hits the wire.
+			// One arena lease per run (a run is a single chunk outside kio),
+			// full and tail sizes alike; the lease rides the chunk through
+			// staging and is released by the network worker after the frame
+			// hits the wire.
 			buf := arena.Get(n)
 			span := flight.StageStart()
 			if _, err := r.ReadAt(buf.Bytes(), off); err != nil {
@@ -440,21 +543,31 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 				return
 			}
 			flight.StageEnd(flight.StageRead, span)
-			readCounter.Add(int64(n))
+			wire.CountIOOps(1)
+			readCounter.Add(n64)
 			var sum uint32
 			if checksums {
-				// Hash once at the read stage; the frame writer and the
-				// receiver's ledger both reuse this value.
-				sum = wire.PayloadCRC(buf.Bytes())
-				if crc, done := summer.add(fileID, off, sum); done {
-					ctrl.Send(wire.Message{FileSum: &wire.FileSum{FileID: fileID, CRC: crc}})
+				// Hash the whole run in one pass. The per-chunk sums feed
+				// the file fold (and, on the receiver, per-chunk ledger
+				// entries); the frame checksum is their combination, so the
+				// run is never hashed twice.
+				sums = wire.BatchCRC(sums[:0], buf.Bytes(), chunkBytes)
+				for i, cs := range sums {
+					if crc, done := summer.add(fileID, off+int64(i)*int64(chunkBytes), cs); done {
+						ctrl.Send(wire.Message{FileSum: &wire.FileSum{FileID: fileID, CRC: crc}})
+					}
+				}
+				if len(sums) == 1 {
+					sum = sums[0]
+				} else {
+					sum = wire.FoldChunkCRCs(sums, int64(chunkBytes), n64)
 				}
 			}
 			if !staging.Put(Chunk{FileID: fileID, Offset: off, Data: buf.Bytes(), Buf: buf, Sum: sum}) {
 				buf.Release()
 				return
 			}
-			if chunksStaged.Add(1) == src.total {
+			if chunksStaged.Add(int64(pieces)) == src.total {
 				sendSumsDone()
 				staging.Close() // all chunks staged; network drains the rest
 			}
@@ -603,7 +716,17 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 				committed.ApplyWire(states)
 				kept := history[:0]
 				for _, cr := range history {
-					if !committed.Done(cr.fileID, cr.off) {
+					// A kio frame spans several chunks; the run is lost
+					// unless every piece committed (the receiver drops the
+					// committed pieces of a re-sent run).
+					done := true
+					for p := int64(0); p < int64(cr.n); p += int64(chunkBytes) {
+						if !committed.Done(cr.fileID, cr.off+p) {
+							done = false
+							break
+						}
+					}
+					if !done {
 						kept = append(kept, cr)
 					}
 				}
@@ -658,10 +781,118 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 		}
 	}
 
+	// sendFrameBatch stripes a batch of frames as one vectored write on
+	// one connection, with sendFrame's retry discipline: a write failure
+	// retires the connection and the whole batch retries on a survivor
+	// (the receiver drops any duplicate that did land).
+	sendFrameBatch := func(frames []wire.Frame, hint int) error {
+		if len(frames) == 0 {
+			return nil
+		}
+		for {
+			c := conns.pick(hint)
+			if c == nil {
+				return errConnsExhausted
+			}
+			err := conns.writeBatch(c, frames)
+			if err == nil {
+				return nil
+			}
+			if errors.Is(err, errRunDone) {
+				return err
+			}
+			if conns.markDead(c) {
+				recoverWG.Add(1)
+				go recoverConn(c, err)
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+		}
+	}
+
+	// resendBuffered ships a kernel-owned chunk through the buffered
+	// path after a sendfile refusal: read the range into a lease and
+	// send a plain frame (kernel-owned chunks only exist unchecksummed).
+	resendBuffered := func(ch Chunk, hint int) error {
+		r, err := readerFor(ch.FileID)
+		if err != nil {
+			return err
+		}
+		buf := arena.Get(ch.N)
+		if _, err := r.ReadAt(buf.Bytes(), ch.Offset); err != nil {
+			buf.Release()
+			return fmt.Errorf("transfer: read %s@%d: %w", s.Manifest[ch.FileID].Name, ch.Offset, err)
+		}
+		wire.CountIOOps(1)
+		err = sendFrame(wire.Frame{FileID: ch.FileID, Offset: ch.Offset, Data: buf.Bytes()}, hint)
+		buf.Release()
+		return err
+	}
+
+	// sendKio emits a kernel-owned chunk: header from userspace, payload
+	// by sendfile. A capability refusal before any byte hits the wire
+	// falls back to the buffered path (and latches kioBroken so the read
+	// stage stops planning kernel-owned runs); a refusal mid-frame
+	// desyncs the stream, so the connection is retired and recovery
+	// re-plans it like any other write failure.
+	sendKio := func(ch Chunk, hint int) error {
+		r, err := readerFor(ch.FileID)
+		if err != nil {
+			return err
+		}
+		fileSrc, ok := r.(syscall.Conn)
+		if !ok {
+			kioBroken.Store(true)
+			return resendBuffered(ch, hint)
+		}
+		for {
+			c := conns.pick(hint)
+			if c == nil {
+				return errConnsExhausted
+			}
+			err := conns.writeKio(c, ch.FileID, ch.Offset, ch.N, fileSrc)
+			if err == nil {
+				return nil
+			}
+			if errors.Is(err, errRunDone) {
+				return err
+			}
+			if errors.Is(err, wire.ErrKioUnsupported) {
+				// Nothing was written on the slot; take the buffered path.
+				kioBroken.Store(true)
+				return resendBuffered(ch, hint)
+			}
+			if isKioRefusal(err) {
+				kioBroken.Store(true)
+			}
+			if conns.markDead(c) {
+				recoverWG.Add(1)
+				go recoverConn(c, err)
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+		}
+	}
+
+	// The kio network stage drains batches so adjacent frames share one
+	// vectored write; outside kio the drain is a single chunk and the
+	// wire path is the untouched portable one. A shaped network stage
+	// also stays chunk-at-a-time: rate-bound sends gain nothing from
+	// syscall batching, and batching would lump the paced writes into
+	// end-of-window bursts.
+	drain := 1
+	if kio && cfg.Shaping.NetPerStreamMbps <= 0 && cfg.Shaping.LinkMbps <= 0 {
+		drain = sendBatchChunks
+	}
+
 	netPool := NewPool(func(stop <-chan struct{}, id int) {
 		lim := netPerStream.get(id)
 		poll := newPollTimer()
 		defer poll.stop()
+		var batch []Chunk
+		var frames []wire.Frame
 		for {
 			select {
 			case <-stop:
@@ -670,11 +901,12 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 				return
 			default:
 			}
-			c, ok, closed := staging.TryGet()
-			if closed {
-				return
-			}
-			if !ok {
+			var closed bool
+			batch, closed = staging.TryGetN(batch[:0], drain)
+			if len(batch) == 0 {
+				if closed {
+					return
+				}
 				select {
 				case <-stop:
 					return
@@ -684,22 +916,56 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 				}
 				continue
 			}
-			if err := lim.WaitN(ctx, len(c.Data)); err != nil {
-				c.Release()
-				return
+			// Reserve shaping tokens chunk by chunk (not one batch-sized
+			// debt) so a shaped link paces a batched sender the same as a
+			// portable one; only the writes are batched.
+			var total int64
+			aborted := false
+			for i := range batch {
+				sz := int(batch[i].size())
+				if err := lim.WaitN(ctx, sz); err != nil {
+					aborted = true
+					break
+				}
+				if err := link.WaitN(ctx, sz); err != nil {
+					aborted = true
+					break
+				}
+				total += int64(sz)
 			}
-			if err := link.WaitN(ctx, len(c.Data)); err != nil {
-				c.Release()
+			if aborted { // limiter wait cancelled: the run is coming down
+				for i := range batch {
+					batch[i].Release()
+				}
 				return
 			}
 			span := flight.StageStart()
-			err := sendFrame(wire.Frame{
-				FileID: c.FileID, Offset: c.Offset, Data: c.Data,
-				Checksum: checksums, Sum: c.Sum, SumKnown: checksums,
-			}, id)
+			frames = frames[:0]
+			var err error
+			for i := range batch {
+				ch := &batch[i]
+				if ch.Kio {
+					if err = sendFrameBatch(frames, id); err != nil {
+						break
+					}
+					frames = frames[:0]
+					if err = sendKio(*ch, id); err != nil {
+						break
+					}
+					continue
+				}
+				frames = append(frames, wire.Frame{
+					FileID: ch.FileID, Offset: ch.Offset, Data: ch.Data,
+					Checksum: checksums, Sum: ch.Sum, SumKnown: checksums,
+				})
+			}
+			if err == nil {
+				err = sendFrameBatch(frames, id)
+			}
 			flight.StageEnd(flight.StageNet, span)
-			n := int64(len(c.Data))
-			c.Release()
+			for i := range batch {
+				batch[i].Release()
+			}
 			if err != nil {
 				if errors.Is(err, errRunDone) {
 					return
@@ -708,8 +974,8 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 				cancel()
 				return
 			}
-			netCounter.Add(n)
-			netTotal.Add(n)
+			netCounter.Add(total)
+			netTotal.Add(total)
 		}
 	})
 	// Cleanup order matters: closing the staging buffer first wakes

@@ -20,6 +20,25 @@ type Chunk struct {
 	// taken at the write stage, keeping file verification end-to-end.
 	// Zero and meaningless when the session runs unchecksummed.
 	Sum uint32
+	// Kio marks a kernel-owned chunk: the payload stays in the source
+	// file and never enters userspace. Data and Buf are nil — the arena
+	// never sees the bytes — and N carries the payload length for
+	// capacity accounting; the network stage emits the frame header from
+	// userspace and sendfile(2)s the payload range straight into the
+	// socket.
+	Kio bool
+	// N is the payload length of a kernel-owned chunk (len(Data)
+	// otherwise).
+	N int
+}
+
+// size returns the chunk's payload length regardless of where the bytes
+// live (userspace Data or a kernel-owned on-disk range).
+func (c *Chunk) size() int64 {
+	if c.Kio {
+		return int64(c.N)
+	}
+	return int64(len(c.Data))
 }
 
 // Release returns the chunk's arena lease, if any. Safe to call more
@@ -60,7 +79,7 @@ func NewStaging(capBytes int64) *Staging {
 // oversized chunks cannot deadlock. Put reports false if the staging
 // buffer was closed.
 func (s *Staging) Put(c Chunk) bool {
-	n := int64(len(c.Data))
+	n := c.size()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for !s.closed && s.used+n > s.capBytes && s.used > 0 {
@@ -93,7 +112,7 @@ func (s *Staging) Get() (Chunk, bool) {
 		s.q = s.q[:0]
 		s.head = 0
 	}
-	s.used -= int64(len(c.Data))
+	s.used -= c.size()
 	s.notFull.Broadcast()
 	return c, true
 }
@@ -115,9 +134,36 @@ func (s *Staging) TryGet() (c Chunk, ok bool, closed bool) {
 		s.q = s.q[:0]
 		s.head = 0
 	}
-	s.used -= int64(len(c.Data))
+	s.used -= c.size()
 	s.notFull.Broadcast()
 	return c, true, false
+}
+
+// TryGetN removes up to max oldest chunks without blocking, appending
+// them to dst and returning the extended slice. closed reports that the
+// buffer is closed and fully drained. The kio network and write stages
+// drain batches — adjacent chunks popped together can share one
+// vectored frame write or one pwritev flush.
+func (s *Staging) TryGetN(dst []Chunk, max int) (out []Chunk, closed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.q)-s.head == 0 {
+		return dst, s.closed
+	}
+	for max > 0 && len(s.q)-s.head > 0 {
+		c := s.q[s.head]
+		s.q[s.head] = Chunk{}
+		s.head++
+		s.used -= c.size()
+		dst = append(dst, c)
+		max--
+	}
+	if s.head == len(s.q) {
+		s.q = s.q[:0]
+		s.head = 0
+	}
+	s.notFull.Broadcast()
+	return dst, false
 }
 
 // Close marks the buffer closed; pending Gets drain remaining chunks,

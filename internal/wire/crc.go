@@ -107,6 +107,31 @@ func CombineCRC(crcA, crcB uint32, lenB int64) uint32 {
 	return op.Apply(crcA) ^ crcB
 }
 
+// BatchCRC appends to dst the per-chunk CRC-32C sums of p tiled into
+// chunk-sized pieces (the last piece may be short) and returns the
+// extended slice. The kio read path hashes a whole contiguous run of
+// chunks in one call — one pass over one buffer with the hardware
+// CRC-32C kernel, instead of one PayloadCRC call per chunk — and the
+// per-piece sums still feed the session ledger and FileSum fold
+// unchanged.
+func BatchCRC(dst []uint32, p []byte, chunk int) []uint32 {
+	if chunk <= 0 {
+		if len(p) == 0 {
+			return dst
+		}
+		return append(dst, crc32.Checksum(p, castagnoli))
+	}
+	for len(p) > 0 {
+		n := chunk
+		if n > len(p) {
+			n = len(p)
+		}
+		dst = append(dst, crc32.Checksum(p[:n], castagnoli))
+		p = p[n:]
+	}
+	return dst
+}
+
 // FoldChunkCRCs combines per-chunk CRC-32C sums — chunkBytes-sized
 // chunks tiling total bytes, the last one possibly short — into the
 // whole-buffer CRC. This is the shared fold behind the sender's FileSum

@@ -1,0 +1,32 @@
+package wire
+
+// Kernel-assisted I/O (kio) support shared across platforms: the
+// capability error the stubs return, and the process-wide data-plane
+// operation counter behind the enginebench syscalls_per_op metric.
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrKioUnsupported reports that the kernel-assisted I/O fast path
+// (sendfile/pwritev) is not available — either the platform has no
+// implementation (non-Linux builds) or the file/socket involved does not
+// expose a raw descriptor. Callers fall back to the portable path.
+var ErrKioUnsupported = errors.New("wire: kernel-assisted I/O unsupported")
+
+// ioOps counts data-plane I/O operations: every socket read, vectored
+// frame write, store ReadAt/WriteAt, sendfile and pwritev call on the
+// hot path bumps it by one. It is a strace-free would-be-syscall
+// counter — self-instrumented at the call sites the engine owns, so it
+// is exact, cheap, and works under `go test` — feeding the enginebench
+// syscalls_per_op metric and its kio-vs-portable regression gate.
+var ioOps atomic.Int64
+
+// CountIOOps records n data-plane I/O operations.
+func CountIOOps(n int64) { ioOps.Add(n) }
+
+// IOOps returns the process-lifetime data-plane operation count.
+// Benchmarks snapshot it before and after a scenario and report the
+// delta per op.
+func IOOps() int64 { return ioOps.Load() }

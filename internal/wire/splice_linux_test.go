@@ -1,0 +1,142 @@
+//go:build linux
+
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// tcpPair returns two ends of a loopback TCP connection.
+func tcpPair(t *testing.T) (client, server *net.TCPConn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		server = c.(*net.TCPConn)
+		done <- nil
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		c.Close()
+		t.Fatal(err)
+	}
+	client = c.(*net.TCPConn)
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+// SendfilePayload must deliver an exact mid-file range into the socket —
+// large enough here to force multiple sendfile calls through socket
+// buffer backpressure — without moving the *os.File's own offset.
+func TestSendfilePayloadRange(t *testing.T) {
+	content := make([]byte, 4<<20)
+	rand.New(rand.NewSource(3)).Read(content)
+	path := filepath.Join(t.TempDir(), "src")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	client, server := tcpPair(t)
+	const off, n = 4096 + 13, 2<<20 + 7
+	recvErr := make(chan error, 1)
+	got := make([]byte, n)
+	go func() {
+		_, err := io.ReadFull(server, got)
+		recvErr <- err
+	}()
+	if err := SendfilePayload(client, f, off, n); err != nil {
+		t.Fatalf("sendfile: %v", err)
+	}
+	if err := <-recvErr; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content[off:off+n]) {
+		t.Fatal("sendfile range differs from source")
+	}
+	// The explicit-position form must leave the file's cursor alone, or
+	// concurrent readers of the shared descriptor would skip bytes.
+	if pos, err := f.Seek(0, io.SeekCurrent); err != nil || pos != 0 {
+		t.Fatalf("file offset moved to %d (err %v)", pos, err)
+	}
+}
+
+// Pwritev must land a batch of buffers contiguously at the requested
+// offset, skipping empty slices, and count one data-plane op per
+// syscall rather than per buffer.
+func TestPwritevBatch(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "dst"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	bufs := make([][]byte, 0, 6)
+	var want []byte
+	for _, n := range []int{64 << 10, 0, 100, 64 << 10, 1, 8192} {
+		b := make([]byte, n)
+		rng.Read(b)
+		bufs = append(bufs, b)
+		want = append(want, b...)
+	}
+	const off = 12345
+	before := IOOps()
+	written, err := Pwritev(f, bufs, off)
+	if err != nil {
+		t.Fatalf("pwritev: %v", err)
+	}
+	if written != int64(len(want)) {
+		t.Fatalf("wrote %d bytes, want %d", written, len(want))
+	}
+	if ops := IOOps() - before; ops < 1 || ops > int64(len(bufs)) {
+		t.Fatalf("pwritev counted %d ops for %d buffers", ops, len(bufs))
+	}
+	got := make([]byte, len(want))
+	if _, err := f.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("pwritev content differs from buffers")
+	}
+	// All-empty batches are a no-op, not a zero-length syscall.
+	if n, err := Pwritev(f, [][]byte{nil, {}}, 0); n != 0 || err != nil {
+		t.Fatalf("empty batch wrote %d, err %v", n, err)
+	}
+}
+
+// A destination that hides its descriptor must get the capability error,
+// not a crash or a silent no-op — that error is what routes callers back
+// to the portable path.
+func TestPwritevUnsupportedDestination(t *testing.T) {
+	if _, err := Pwritev(noRawConn{}, [][]byte{{1}}, 0); err != ErrKioUnsupported {
+		t.Fatalf("err = %v, want ErrKioUnsupported", err)
+	}
+}
+
+type noRawConn struct{}
+
+func (noRawConn) SyscallConn() (syscall.RawConn, error) { return nil, os.ErrInvalid }

@@ -1,0 +1,24 @@
+//go:build !linux
+
+package wire
+
+// Portable stubs for the kernel-assisted I/O fast path. Non-Linux
+// builds compile them in place of splice_linux.go; every call reports
+// ErrKioUnsupported and the engine takes the portable path, which is
+// byte-for-byte identical on the wire.
+
+import "syscall"
+
+// KioAvailable reports whether this build carries the kernel-assisted
+// I/O fast path. Always false off Linux.
+func KioAvailable() bool { return false }
+
+// SendfilePayload is unavailable on this platform.
+func SendfilePayload(dst syscall.Conn, src syscall.Conn, off int64, n int) error {
+	return ErrKioUnsupported
+}
+
+// Pwritev is unavailable on this platform.
+func Pwritev(dst syscall.Conn, bufs [][]byte, off int64) (int64, error) {
+	return 0, ErrKioUnsupported
+}

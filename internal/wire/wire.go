@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"io"
 	"net"
+	"sync"
 )
 
 // ProtoVersion is the control-channel protocol generation this build
@@ -130,11 +131,37 @@ func EncodeHeader(hdr *[FrameHeaderSize]byte, f Frame) error {
 	return nil
 }
 
+// EncodeKioHeader encodes a plain (unchecksummed) frame header for a
+// payload of n bytes that never enters userspace: the kernel-I/O sender
+// writes this header from userspace and then sendfile(2)s the payload
+// straight from the source file into the socket.
+func EncodeKioHeader(hdr *[FrameHeaderSize]byte, fileID uint32, off int64, n int) error {
+	if n < 0 || n > MaxChunk {
+		return fmt.Errorf("wire: frame payload %d exceeds limit %d", n, MaxChunk)
+	}
+	binary.BigEndian.PutUint32(hdr[0:4], fileID)
+	binary.BigEndian.PutUint64(hdr[4:12], uint64(off))
+	binary.BigEndian.PutUint32(hdr[12:16], uint32(n))
+	binary.BigEndian.PutUint32(hdr[16:20], 0)
+	return nil
+}
+
+// frameWriterPool and frameReaderPool back the one-shot WriteFrame and
+// ReadFrame helpers so their header scratch is reused instead of
+// escaping to the heap on every call (control paths, recovery resends,
+// and tests all go through the one-shot forms).
+var frameWriterPool = sync.Pool{New: func() any { return new(FrameWriter) }}
+
+var frameReaderPool = sync.Pool{New: func() any { return new(FrameReader) }}
+
 // WriteFrame writes one frame to w. For the hot path prefer a FrameWriter,
-// which reuses its scratch and issues vectored header+payload writes.
+// which reuses its scratch and issues vectored header+payload writes; the
+// one-shot form borrows a pooled writer so it allocates nothing either.
 func WriteFrame(w io.Writer, f Frame) error {
-	var fw FrameWriter
-	return fw.Write(w, f)
+	fw := frameWriterPool.Get().(*FrameWriter)
+	err := fw.Write(w, f)
+	frameWriterPool.Put(fw)
+	return err
 }
 
 // WriteEnd writes the end-of-stream marker to w.
@@ -155,6 +182,10 @@ type FrameWriter struct {
 	// reallocate per frame).
 	arr  [2][]byte
 	vecs net.Buffers
+	// Batch scratch: one persistent header block per frame slot and the
+	// iovec list backing a multi-frame writev (WriteBatch).
+	hdrs []*[FrameHeaderSize]byte
+	barr [][]byte
 }
 
 // Write writes one frame to w.
@@ -162,6 +193,7 @@ func (fw *FrameWriter) Write(w io.Writer, f Frame) error {
 	if err := EncodeHeader(&fw.hdr, f); err != nil {
 		return err
 	}
+	CountIOOps(1)
 	if len(f.Data) == 0 {
 		_, err := w.Write(fw.hdr[:])
 		return err
@@ -173,9 +205,57 @@ func (fw *FrameWriter) Write(w io.Writer, f Frame) error {
 	return err
 }
 
+// WriteBatch writes a batch of frames to w as one vectored write: all
+// headers are encoded into persistent per-slot scratch and the
+// header/payload iovecs go out in a single writev when w is a
+// *net.TCPConn. One batch costs one data-plane operation regardless of
+// frame count, which is where the kio sender's syscalls-per-op win on
+// checksummed (non-sendfile) traffic comes from.
+func (fw *FrameWriter) WriteBatch(w io.Writer, frames []Frame) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	if len(frames) == 1 {
+		return fw.Write(w, frames[0])
+	}
+	for len(fw.hdrs) < len(frames) {
+		fw.hdrs = append(fw.hdrs, new([FrameHeaderSize]byte))
+	}
+	fw.barr = fw.barr[:0]
+	for i := range frames {
+		if err := EncodeHeader(fw.hdrs[i], frames[i]); err != nil {
+			return err
+		}
+		fw.barr = append(fw.barr, fw.hdrs[i][:])
+		if len(frames[i].Data) > 0 {
+			fw.barr = append(fw.barr, frames[i].Data)
+		}
+	}
+	fw.vecs = net.Buffers(fw.barr)
+	CountIOOps(1)
+	_, err := fw.vecs.WriteTo(w)
+	for i := range fw.barr {
+		fw.barr[i] = nil // drop payload references; the arena owns them
+	}
+	fw.barr = fw.barr[:0]
+	return err
+}
+
 // WriteEnd writes the end-of-stream marker to w.
 func (fw *FrameWriter) WriteEnd(w io.Writer) error {
 	return fw.Write(w, Frame{FileID: EndStream})
+}
+
+// WriteKioHeader writes a plain header for a kernel-owned payload of n
+// bytes using the writer's persistent scratch; the caller streams the
+// payload itself (SendfilePayload) immediately after.
+func (fw *FrameWriter) WriteKioHeader(w io.Writer, fileID uint32, off int64, n int) error {
+	if err := EncodeKioHeader(&fw.hdr, fileID, off, n); err != nil {
+		return err
+	}
+	CountIOOps(1)
+	_, err := w.Write(fw.hdr[:])
+	return err
 }
 
 // ReadFrame reads one frame from r into a buffer obtained from alloc
@@ -183,10 +263,13 @@ func (fw *FrameWriter) WriteEnd(w io.Writer) error {
 // returns io.EOF (wrapped) only on a clean end-of-stream marker or a
 // closed connection at a frame boundary. Frames written with Checksum
 // set are verified; mismatches are hard errors. For the hot path prefer
-// a FrameReader, whose header scratch persists across calls.
+// a FrameReader, whose header scratch persists across calls; the
+// one-shot form borrows a pooled reader so it allocates nothing either.
 func ReadFrame(r io.Reader, alloc func(n int) []byte) (Frame, error) {
-	var fr FrameReader
-	return fr.Read(r, alloc)
+	fr := frameReaderPool.Get().(*FrameReader)
+	f, err := fr.Read(r, alloc)
+	frameReaderPool.Put(fr)
+	return f, err
 }
 
 // FrameReader reads frames with a persistent header scratch (the local
@@ -200,6 +283,7 @@ type FrameReader struct {
 // Read reads one frame from r; see ReadFrame.
 func (fr *FrameReader) Read(r io.Reader, alloc func(n int) []byte) (Frame, error) {
 	hdr := &fr.hdr
+	CountIOOps(1)
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
 			return Frame{}, io.EOF
@@ -222,6 +306,7 @@ func (fr *FrameReader) Read(r io.Reader, alloc func(n int) []byte) (Frame, error
 	}
 	if n > 0 {
 		f.Data = alloc(int(n))[:n]
+		CountIOOps(1)
 		if _, err := io.ReadFull(r, f.Data); err != nil {
 			return Frame{}, fmt.Errorf("wire: read frame payload: %w", err)
 		}
@@ -262,6 +347,9 @@ type Hello struct {
 	// the session records per-chunk sums in its ledger for end-to-end
 	// file verification.
 	Checksums bool
+	// Kio advertises the sender's kernel-assisted I/O capability
+	// (advisory; gob omits it for older builds, which decode as false).
+	Kio bool
 }
 
 // FileState is one file's ledger entry advertised in a Welcome: which
@@ -289,6 +377,13 @@ type Welcome struct {
 	// sender must echo in every data-connection preamble so the endpoint
 	// can demultiplex concurrent sessions. Empty below protocol 2.
 	DataToken string
+	// Kio reports that this receiver accepts kernel-assisted-I/O frame
+	// geometry: data frames whose payload spans several adjacent chunks
+	// of one file (the receiver splits them back into per-chunk ledger
+	// commits). A sender coalesces frames only after seeing it; absent
+	// (older receivers, or -kio=off) every frame stays one chunk and the
+	// wire is byte-for-byte the portable stream.
+	Kio bool
 }
 
 // FileSum carries the sender's end-to-end CRC-32C of one fully read
