@@ -10,16 +10,23 @@
 //	    -baseline bench/BENCH_baseline.json   # CI regression gate
 //
 // Experiments: fig3, fig4, fig5-read, fig5-network, fig5-write, table1,
-// finetune, adaptation, ablation-joint, ablation-k, engine, all.
+// finetune, adaptation, ablation-joint, ablation-k, engine, chaos, all.
 //
 // The engine experiment runs the transfer-engine micro-benchmark suite
 // (frame encode/decode, staging hand-off, arena lease cycle, loopback
 // end-to-end) and, with -bench-json, writes a machine-readable report.
 // With -baseline it exits non-zero when throughput drops or allocs/op
 // rise by more than -bench-tolerance against the baseline report.
+//
+// The chaos experiment runs the adversarial scenario matrix over the
+// live loopback engine: `-exp chaos -quick` is the PR-blocking 3×3
+// sub-matrix, `-exp chaos -full` the nightly robustness battery. Each
+// cell must complete byte-correct or fail cleanly and resume cheaply;
+// -chaos-json writes the per-cell aggregate report (BENCH_chaos.json).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,7 +53,16 @@ func main() {
 	kioSysCeil := flag.Float64("kio-syscall-ratio", 0.5, "maximum loopback_e2e_kio / loopback_e2e syscalls/op ratio (0 disables)")
 	flightTol := flag.Float64("flight-overhead-tolerance", 0.05, "allowed fractional loopback_e2e slowdown with the flight recorder on, measured within the run (0 disables the check)")
 	flightPath := flag.String("flight", "", "enable the decision flight recorder for the run and dump the trace to this file (\"-\" for stdout; analyze with flightdump)")
+	chaosQuick := flag.Bool("quick", false, "chaos experiment: run the PR-blocking 3×3 sub-matrix (the default)")
+	chaosFull := flag.Bool("full", false, "chaos experiment: run the full nightly robustness battery")
+	chaosJSON := flag.String("chaos-json", "", "file to write the chaos matrix per-cell report (chaos experiment)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the chaos matrix fault schedules")
 	flag.Parse()
+
+	if *chaosQuick && *chaosFull {
+		fmt.Fprintln(os.Stderr, "-quick and -full are mutually exclusive")
+		os.Exit(2)
+	}
 
 	if *flightPath != "" {
 		flight.Enable(0)
@@ -329,6 +345,47 @@ func main() {
 					*benchTol*100, *baseline)
 			}
 			fmt.Printf("[baseline gate passed: %s, tolerance %.0f%%]\n", *baseline, *benchTol*100)
+		}
+		return nil
+	})
+
+	run("chaos", func() error {
+		matrix := experiments.QuickChaosMatrix(*chaosSeed)
+		matrixMode := "quick"
+		if *chaosFull {
+			matrix = experiments.FullChaosMatrix(*chaosSeed)
+			matrixMode = "full"
+		}
+		rep := experiments.RunChaosMatrix(context.Background(), matrix, matrixMode, os.Stdout)
+		experiments.PrintChaosReport(os.Stdout, rep)
+		for _, c := range rep.Cells {
+			cell := metrics.L("cell", c.Cell)
+			if c.GoodputMbps > 0 {
+				snap.Add("bench_chaos_goodput_mbps", c.GoodputMbps, cell)
+			}
+			snap.Add("bench_chaos_attempts", float64(c.Attempts), cell)
+			snap.Add("bench_chaos_replan_events", float64(c.ReplanEvents), cell)
+			snap.Add("bench_chaos_resent_bytes", float64(c.ResentBytes+c.ResentCommitted), cell)
+			snap.Add("bench_chaos_ledger_bytes", float64(c.LedgerBytes), cell)
+		}
+		if *chaosJSON != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*chaosJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("[wrote %s]\n", *chaosJSON)
+		}
+		if !rep.Pass {
+			failed := 0
+			for _, c := range rep.Cells {
+				if !c.Pass {
+					failed++
+				}
+			}
+			return fmt.Errorf("chaos matrix failed: %d of %d cells broke their invariant", failed, len(rep.Cells))
 		}
 		return nil
 	})

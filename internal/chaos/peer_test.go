@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestPeerCleanPassthrough(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	p := NewPeer(PeerFault{}, 1)
+	if got := p.WrapConn("data", c1); got != c1 {
+		t.Fatal("clean peer did not return the conn unchanged")
+	}
+	var nilPeer *Peer
+	if got := nilPeer.WrapConn("data", c1); got != c1 {
+		t.Fatal("nil peer did not return the conn unchanged")
+	}
+}
+
+func TestPeerFlipsExactlyOneBit(t *testing.T) {
+	p := NewPeer(PeerFault{FlipPerMB: 1 << 20}, 3) // certain flip per byte
+	c1, c2 := net.Pipe()
+	w := p.WrapConn("data", c1)
+	sink := drain(c2)
+	msg := make([]byte, 512)
+	for i := range msg {
+		msg[i] = byte(i * 7)
+	}
+	orig := append([]byte(nil), msg...)
+	n, err := w.Write(msg)
+	if n != len(msg) || err != nil {
+		t.Fatalf("corrupting write: n=%d err=%v", n, err)
+	}
+	w.Close()
+	<-sink.done
+	if !bytes.Equal(msg, orig) {
+		t.Fatal("peer mutated the caller's buffer")
+	}
+	got := sink.buf.Bytes()
+	if len(got) != len(msg) {
+		t.Fatalf("delivered %d bytes, want %d", len(got), len(msg))
+	}
+	diff := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^msg[i])&(1<<b) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits differ, want exactly 1", diff)
+	}
+	if p.Flips() != 1 {
+		t.Fatalf("Flips() = %d", p.Flips())
+	}
+}
+
+func TestPeerKillsDataConnOnBudget(t *testing.T) {
+	p := NewPeer(PeerFault{KillDataAfterBytes: 1000}, 5)
+	c1, c2 := net.Pipe()
+	w := p.WrapConn("data", c1)
+	sink := drain(c2)
+	buf := make([]byte, 600)
+	if n, err := w.Write(buf); n != 600 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err := w.Write(buf) // crosses the 1000-byte budget
+	if !errors.Is(err, ErrPeerKilled) {
+		t.Fatalf("budget-crossing write: n=%d err=%v, want ErrPeerKilled", n, err)
+	}
+	<-sink.done
+	if got := sink.buf.Len(); got != 600+n {
+		t.Fatalf("delivered %d bytes, want %d", got, 600+n)
+	}
+	if p.Kills() != 1 {
+		t.Fatalf("Kills() = %d, want 1", p.Kills())
+	}
+	if len(p.Injections()) != 1 {
+		t.Fatalf("Injections() = %v, want one timestamp", p.Injections())
+	}
+
+	// The kill is targeted: a fresh connection through the same peer
+	// still works (KillCount defaults to 1).
+	c3, c4 := net.Pipe()
+	w2 := p.WrapConn("data", c3)
+	sink2 := drain(c4)
+	if n, err := w2.Write(buf); n != 600 || err != nil {
+		t.Fatalf("post-kill write on fresh conn: n=%d err=%v", n, err)
+	}
+	w2.Close()
+	<-sink2.done
+}
+
+func TestPeerPartitionSeversEverythingThenHeals(t *testing.T) {
+	p := NewPeer(PeerFault{PartitionAfterBytes: 100, PartitionMs: 50}, 9)
+	now := time.Unix(0, 0)
+	p.now = func() time.Time { return now }
+
+	d1, d2 := net.Pipe()
+	k1, k2 := net.Pipe()
+	data := p.WrapConn("data", d1)
+	ctrl := p.WrapConn("ctrl", k1)
+	dsink, csink := drain(d2), drain(k2)
+
+	buf := make([]byte, 200)
+	if _, err := data.Write(buf); !errors.Is(err, ErrPeerPartitioned) {
+		t.Fatalf("partition trigger: %v, want ErrPeerPartitioned", err)
+	}
+	// Both registered conns were severed, control plane included.
+	<-dsink.done
+	<-csink.done
+	if _, err := ctrl.Write([]byte("x")); !errors.Is(err, ErrPeerKilled) {
+		t.Fatalf("severed ctrl conn write: %v, want ErrPeerKilled", err)
+	}
+
+	// While partitioned, new connections die on first write too.
+	n1, n2 := net.Pipe()
+	nconn := p.WrapConn("data", n1)
+	nsink := drain(n2)
+	if _, err := nconn.Write(buf); !errors.Is(err, ErrPeerPartitioned) {
+		t.Fatalf("write during partition: %v", err)
+	}
+	<-nsink.done
+
+	// After the hold-down the partition heals and traffic flows again.
+	now = now.Add(60 * time.Millisecond)
+	h1, h2 := net.Pipe()
+	hconn := p.WrapConn("data", h1)
+	hsink := drain(h2)
+	if n, err := hconn.Write(buf); n != len(buf) || err != nil {
+		t.Fatalf("post-heal write: n=%d err=%v", n, err)
+	}
+	hconn.Close()
+	<-hsink.done
+	if len(p.Injections()) != 1 {
+		t.Fatalf("Injections() recorded %d events, want 1", len(p.Injections()))
+	}
+}

@@ -1,0 +1,108 @@
+package chaos_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"automdt/internal/chaos"
+	"automdt/internal/fsim"
+	"automdt/internal/transfer"
+	"automdt/internal/workload"
+)
+
+// TestResumeAfterDiskFaults is the resume property of the cell
+// invariant, pinned directly against the engine: a receiver whose store
+// fails writes (ENOSPC budgets, short writes, injected errors) must,
+// whenever an attempt fails, leave a ledger the next attempt can load —
+// and once the byte budget opens up, the resumed run must re-send fewer
+// than 10% of the bytes that had already committed.
+func TestResumeAfterDiskFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs live loopback transfers")
+	}
+	faults := []chaos.DiskFault{
+		{Name: "enospc", CapacityBytes: 1 << 20},
+		{Name: "flaky", FailEveryN: 11, ShortEveryN: 7},
+		{Name: "enospc-short", CapacityBytes: 2 << 20, ShortEveryN: 5},
+	}
+	for _, df := range faults {
+		t.Run(df.Name, func(t *testing.T) { resumeUnderFault(t, df) })
+	}
+}
+
+func resumeUnderFault(t *testing.T, df chaos.DiskFault) {
+	rng := rand.New(rand.NewSource(43))
+	manifest := workload.Mixed(3<<20, 32<<10, 256<<10, rng)
+	total := manifest.TotalBytes()
+	sid := "chaos-resume-" + df.Name
+
+	src := fsim.NewSyntheticStore()
+	inner := fsim.NewSyntheticStore()
+	inner.Verify = true
+	dst, err := chaos.NewFlakyStore(inner, df, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := transfer.Config{
+		ChunkBytes:     64 << 10,
+		MaxThreads:     8,
+		ProbeInterval:  50 * time.Millisecond,
+		InitialThreads: 2,
+		Conns:          2,
+		SessionID:      sid,
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// Phase 1: run attempts under the fault until one fails. Every failed
+	// attempt must leave a loadable ledger (or none at all — a crash
+	// before the first commit persists nothing, which resume handles).
+	var failed bool
+	for attempt := 0; attempt < 6 && ctx.Err() == nil; attempt++ {
+		_, rerr := transfer.Loopback(ctx, cfg, manifest, src, dst, nil)
+		if rerr == nil {
+			continue
+		}
+		failed = true
+		if _, lerr := transfer.LoadSessionLedger(dst, sid); lerr != nil && !errors.Is(lerr, os.ErrNotExist) {
+			t.Fatalf("attempt %d failed (%v) and left an unloadable ledger: %v", attempt, rerr, lerr)
+		}
+	}
+	if !failed {
+		t.Fatalf("no attempt failed under fault %+v; the fault axis is not biting", df)
+	}
+	for _, verr := range inner.Errors() {
+		t.Fatalf("destination corruption under %s: %v", df.Name, verr)
+	}
+
+	// Phase 2: lift the byte budget and resume. The committed prefix must
+	// be skipped — the resumed run may re-send at most 10% of it.
+	committed := int64(0)
+	if l, lerr := transfer.LoadSessionLedger(dst, sid); lerr == nil {
+		committed = l.CommittedBytes()
+	}
+	relaxed, err := chaos.NewFlakyStore(inner, chaos.DiskFault{}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rerr := transfer.Loopback(ctx, cfg, manifest, src, relaxed, nil)
+	if rerr != nil {
+		t.Fatalf("resume with the fault lifted failed: %v", rerr)
+	}
+	firstSends := res.WireBytes - res.ResentBytes
+	if over := firstSends - (total - committed); over > committed/10 {
+		t.Fatalf("resume re-sent %d of %d committed bytes (wire %d, recovery %d)",
+			over, committed, res.WireBytes, res.ResentBytes)
+	}
+	for _, verr := range inner.Errors() {
+		t.Fatalf("destination corruption after resume: %v", verr)
+	}
+	if inner.TotalWritten() < total {
+		t.Fatalf("destination saw %d of %d bytes", inner.TotalWritten(), total)
+	}
+}

@@ -603,6 +603,28 @@ type Report struct {
 	Results []Result `json:"benchmarks"`
 }
 
+// HostInfo identifies the machine a benchmark-style report came from,
+// shared by BENCH_engine.json and the chaos matrix's BENCH_chaos.json
+// so their gates can tell comparable hosts apart the same way.
+type HostInfo struct {
+	Go     string `json:"go"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPU    string `json:"cpu,omitempty"`
+	Cores  int    `json:"cores,omitempty"`
+}
+
+// Host snapshots the current machine's identity for report headers.
+func Host() HostInfo {
+	return HostInfo{
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPU:    cpuModel(),
+		Cores:  runtime.NumCPU(),
+	}
+}
+
 // cpuModel best-effort identifies the host CPU (linux only); empty when
 // unknown. Throughput numbers are only comparable between identical
 // CPUs, so Compare keys its MB/s gate on this.
@@ -657,13 +679,14 @@ func Run(quick bool) Report {
 	if quick {
 		loopBytes = 16 << 20
 	}
+	h := Host()
 	rep := Report{
 		Schema: 1,
-		Go:     runtime.Version(),
-		GOOS:   runtime.GOOS,
-		GOARCH: runtime.GOARCH,
-		CPU:    cpuModel(),
-		Cores:  runtime.NumCPU(),
+		Go:     h.Go,
+		GOOS:   h.GOOS,
+		GOARCH: h.GOARCH,
+		CPU:    h.CPU,
+		Cores:  h.Cores,
 		Quick:  quick,
 	}
 	rep.Results = append(rep.Results,

@@ -51,6 +51,11 @@ const (
 	KindRebalance = "rebalance"
 	// KindCap is a budget cap clamping a controller's decision.
 	KindCap = "cap"
+	// KindReplan is a sender re-planning a dead data connection's
+	// in-flight chunks onto survivors (the protocol ≥3 targeted-recovery
+	// path). Chosen.Score carries the bytes re-sent; Note records the
+	// cause and how many chunks the receiver's ledger pull saved.
+	KindReplan = "replan"
 )
 
 // Alt is one scored candidate action. For controller decisions the score

@@ -59,6 +59,26 @@ func (l *Limiter) SetRate(bytesPerSec float64) {
 	}
 }
 
+// SetRateBurst changes the refill rate and resets the bucket capacity,
+// dropping any banked tokens above the new burst. Unlike SetRate (which
+// only ever grows burst) this lets a caller snap the limiter into a
+// strictly slower regime — e.g. a Markov link model downshifting state —
+// without a stale full bucket letting one large burst through first.
+// A burst <= 0 defaults as in NewLimiter.
+func (l *Limiter) SetRateBurst(bytesPerSec, burst float64) {
+	if burst <= 0 {
+		burst = math.Max(bytesPerSec, 64<<10)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.advance()
+	l.rate = bytesPerSec
+	l.burst = burst
+	if l.tokens > burst {
+		l.tokens = burst
+	}
+}
+
 // Rate returns the current refill rate in bytes per second (0 = unlimited).
 func (l *Limiter) Rate() float64 {
 	l.mu.Lock()

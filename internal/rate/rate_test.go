@@ -133,3 +133,34 @@ func TestSustainedRateApproximation(t *testing.T) {
 		t.Fatalf("granted %d bytes over 10s at 1MB/s (ratio %v)", granted, ratio)
 	}
 }
+
+// SetRateBurst must drop banked tokens above the new burst so a
+// downshift takes effect immediately instead of after one stale burst.
+func TestSetRateBurstDropsBankedTokens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	l := NewLimiter(10_000_000, 10_000_000) // full 10 MB bucket
+	l.SetClock(clk.now)
+	l.SetRateBurst(100_000, 10_000) // snap to 100 KB/s, 10 KB bucket
+	if l.Rate() != 100_000 {
+		t.Fatalf("rate = %v, want 100000", l.Rate())
+	}
+	if l.AllowN(20_000) {
+		t.Fatal("AllowN(20000) granted from a bucket capped at 10000")
+	}
+	if !l.AllowN(10_000) {
+		t.Fatal("AllowN(10000) denied despite a full (new) bucket")
+	}
+	// Refill obeys the new rate: 50 ms at 100 KB/s banks 5 KB.
+	clk.advance(50 * time.Millisecond)
+	if l.AllowN(6_000) {
+		t.Fatal("AllowN(6000) granted after only 5 KB refill")
+	}
+	if !l.AllowN(5_000) {
+		t.Fatal("AllowN(5000) denied after 5 KB refill")
+	}
+	// Unlimited via SetRateBurst(0, ...) never delays.
+	l.SetRateBurst(0, 1)
+	if !l.AllowN(1 << 30) {
+		t.Fatal("unlimited limiter denied")
+	}
+}

@@ -139,6 +139,14 @@ type Config struct {
 	Shaping Shaping
 	// Hooks observe the transfer lifecycle (job-scoped; optional).
 	Hooks Hooks
+	// WrapConn, when set, wraps every connection the sender dials —
+	// kind "ctrl" for the control channel, "data" for each striped data
+	// connection (wrapped before the preamble, so the whole stream is
+	// covered). It is the fault-injection seam the chaos harness shapes,
+	// kills, and partitions through; returning the conn unchanged is
+	// always safe. A wrapper that does not implement syscall.Conn
+	// automatically disables the kio zero-copy path for that connection.
+	WrapConn func(kind string, c net.Conn) net.Conn
 	// Arena supplies the chunk buffers for both engine ends. nil uses the
 	// process-wide Default() arena, which is what lets back-to-back
 	// transfers (and the scheduler's job churn) run allocation-free after

@@ -20,13 +20,19 @@ func Loopback(ctx context.Context, cfg Config, m workload.Manifest,
 	if err := recv.Listen("127.0.0.1:0", "127.0.0.1:0"); err != nil {
 		return nil, err
 	}
+	rctx, rcancel := context.WithCancel(ctx)
+	defer rcancel()
 	recvErr := make(chan error, 1)
-	go func() { recvErr <- recv.ServeN(ctx, 1) }()
+	go func() { recvErr <- recv.ServeN(rctx, 1) }()
 
 	send := &Sender{Cfg: cfg, Store: src, Manifest: m, Controller: ctrl}
 	res, err := send.Run(ctx, recv.DataAddr(), recv.CtrlAddr())
 	if err != nil {
-		<-recvErr // receiver is done or failing; surface the sender error
+		// A sender that dies before its session negotiated leaves the
+		// receiver with nothing to fail; cancel it rather than waiting on
+		// the outer ctx (session teardown still persists the ledger).
+		rcancel()
+		<-recvErr
 		return nil, err
 	}
 	if rerr := <-recvErr; rerr != nil {

@@ -54,6 +54,10 @@ type Result struct {
 // receiver already confirmed completion — a benign race, not an error.
 var errRunDone = errors.New("transfer: run already complete")
 
+// errConnClosedByPeer is the cause recorded when the read-side death
+// watch — not a failed write — notices a data connection is gone.
+var errConnClosedByPeer = errors.New("transfer: data connection closed by peer")
+
 // kioRunChunks bounds a kio read run in chunks: 16 is 4 MiB at the
 // default chunk size, an exact arena size class, so a run's lease
 // wastes nothing.
@@ -298,6 +302,9 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 	ctrlRaw, err := net.Dial("tcp", ctrlAddr)
 	if err != nil {
 		return nil, fmt.Errorf("transfer: dial control: %w", err)
+	}
+	if cfg.WrapConn != nil {
+		ctrlRaw = cfg.WrapConn("ctrl", ctrlRaw)
 	}
 	ctrl := wire.NewConn(ctrlRaw)
 	defer ctrl.Close()
@@ -608,6 +615,9 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 				lastErr = err
 				continue
 			}
+			if cfg.WrapConn != nil {
+				conn = cfg.WrapConn("data", conn)
+			}
 			if negotiated >= 2 {
 				// One preamble per connection, before the first frame; the
 				// endpoint demux routes the stream to this session by token.
@@ -675,6 +685,20 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 	var recoverWG sync.WaitGroup
 	var sendFrame func(f wire.Frame, hint int) error
 	var recoverConn func(c *dataConn, cause error)
+	// spawnRecovery starts a recovery goroutine unless the run is already
+	// winding down — the read-side death watch can fire while closeAll
+	// tears the sockets down, after recoverWG has been waited on.
+	var recMu sync.Mutex
+	var recClosed bool
+	spawnRecovery := func(c *dataConn, cause error) {
+		recMu.Lock()
+		defer recMu.Unlock()
+		if recClosed {
+			return
+		}
+		recoverWG.Add(1)
+		go recoverConn(c, cause)
+	}
 	sendFrame = func(f wire.Frame, hint int) error {
 		for {
 			c := conns.pick(hint)
@@ -689,8 +713,7 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 				return err
 			}
 			if conns.markDead(c) {
-				recoverWG.Add(1)
-				go recoverConn(c, err)
+				spawnRecovery(c, err)
 			}
 			if ctx.Err() != nil {
 				return ctx.Err()
@@ -738,6 +761,19 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 				// the whole history; the receiver's ledger drops duplicates.
 			}
 		}
+		if flight.Active() {
+			var bytes int64
+			for _, cr := range lost {
+				bytes += int64(cr.n)
+			}
+			flight.Record(flight.Event{
+				Source: "sender:" + sess.ID,
+				Kind:   flight.KindReplan,
+				Chosen: flight.Alt{Score: float64(bytes)},
+				Note: fmt.Sprintf("conn %d lost (%v): %d in-flight sends, %d still uncommitted",
+					c.index, cause, len(history), len(lost)),
+			})
+		}
 		for _, cr := range lost {
 			select {
 			case <-doneCh:
@@ -771,6 +807,21 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 				if errors.Is(err, errRunDone) {
 					return
 				}
+				if errors.Is(err, errConnsExhausted) {
+					// Every connection vanishing at once is also how a
+					// completed session looks from the data plane: the
+					// receiver confirms Done on the control channel and
+					// closes its data sockets, and the death watch can see
+					// the closes before the control reader delivers the
+					// Done. Give that report a moment before failing.
+					select {
+					case <-doneCh:
+						return
+					case <-ctx.Done():
+						return
+					case <-time.After(500 * time.Millisecond):
+					}
+				}
 				s.fail(fmt.Errorf("transfer: data connection %d lost (%v) and re-plan failed: %w",
 					c.index, cause, err))
 				cancel()
@@ -778,6 +829,17 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 			}
 			netTotal.Add(n)
 			resentTotal.Add(n)
+		}
+	}
+
+	// Arm the read-side death watch: a receiver that drops a data
+	// connection (checksum failure, injected fault) after every pending
+	// write already drained into the socket buffer leaves no later write
+	// to fail, so without the watch the lost in-flight chunks would never
+	// be re-planned and the session would stall waiting for commits.
+	conns.onDead = func(c *dataConn) {
+		if conns.markDead(c) {
+			spawnRecovery(c, errConnClosedByPeer)
 		}
 	}
 
@@ -802,8 +864,7 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 				return err
 			}
 			if conns.markDead(c) {
-				recoverWG.Add(1)
-				go recoverConn(c, err)
+				spawnRecovery(c, err)
 			}
 			if ctx.Err() != nil {
 				return ctx.Err()
@@ -867,8 +928,7 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 				kioBroken.Store(true)
 			}
 			if conns.markDead(c) {
-				recoverWG.Add(1)
-				go recoverConn(c, err)
+				spawnRecovery(c, err)
 			}
 			if ctx.Err() != nil {
 				return ctx.Err()
@@ -995,8 +1055,15 @@ func (s *Sender) Run(ctx context.Context, dataAddr, ctrlAddr string) (res *Resul
 	}()
 	// Recovery goroutines may outlive the workers that spawned them; they
 	// must finish (or observe completion/cancellation) before the reader
-	// cache and the connections go away.
+	// cache and the connections go away. Disarm spawning first (LIFO):
+	// the death watch fires for every socket closeAll tears down, and a
+	// recovery started after the Wait would race the teardown.
 	defer recoverWG.Wait()
+	defer func() {
+		recMu.Lock()
+		recClosed = true
+		recMu.Unlock()
+	}()
 
 	// Control reader: receiver statuses and completion. ctrlDone lets the
 	// shutdown path wait for a final receiver-reported root cause before

@@ -61,6 +61,7 @@ var errConnsExhausted = errors.New("transfer: every data connection is dead")
 type connSet struct {
 	dial   func(index int) (net.Conn, error) // dial + preamble; retries internally
 	onConn func(index int, conn net.Conn)    // Hooks.OnDataConn, may be nil
+	onDead func(c *dataConn)                 // read-side death watch, may be nil
 
 	mu    sync.Mutex
 	conns []*dataConn
@@ -148,20 +149,42 @@ func (cs *connSet) markDead(c *dataConn) bool {
 	return true
 }
 
+// ensure dials slot c's socket on first use (c.mu held by the caller)
+// and arms its read-side death watch: the sender never receives on a
+// data connection, so a returning Read means the peer closed or reset
+// the stream — or the slot was retired locally, which onDead must treat
+// as a no-op. The watch is how a receiver-side close (e.g. a checksum
+// failure on a frame that already left the sender's buffers) surfaces
+// when no later write exists to fail.
+func (cs *connSet) ensure(c *dataConn) error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := cs.dial(c.index)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	if cs.onConn != nil {
+		cs.onConn(c.index, conn)
+	}
+	if cs.onDead != nil {
+		go func() {
+			var b [1]byte
+			conn.Read(b[:]) //nolint:errcheck // any return means the conn is gone
+			cs.onDead(c)
+		}()
+	}
+	return nil
+}
+
 // write sends one frame on slot c, dialing the socket on first use, and
 // records the chunk in the slot's history once it is on the wire.
 func (cs *connSet) write(c *dataConn, f wire.Frame) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn == nil {
-		conn, err := cs.dial(c.index)
-		if err != nil {
-			return err
-		}
-		c.conn = conn
-		if cs.onConn != nil {
-			cs.onConn(c.index, conn)
-		}
+	if err := cs.ensure(c); err != nil {
+		return err
 	}
 	if err := c.fw.Write(c.conn, f); err != nil {
 		return err
@@ -180,15 +203,8 @@ func (cs *connSet) writeBatch(c *dataConn, frames []wire.Frame) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn == nil {
-		conn, err := cs.dial(c.index)
-		if err != nil {
-			return err
-		}
-		c.conn = conn
-		if cs.onConn != nil {
-			cs.onConn(c.index, conn)
-		}
+	if err := cs.ensure(c); err != nil {
+		return err
 	}
 	if err := c.fw.WriteBatch(c.conn, frames); err != nil {
 		return err
@@ -208,15 +224,8 @@ func (cs *connSet) writeBatch(c *dataConn, frames []wire.Frame) error {
 func (cs *connSet) writeKio(c *dataConn, fileID uint32, off int64, n int, src syscall.Conn) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn == nil {
-		conn, err := cs.dial(c.index)
-		if err != nil {
-			return err
-		}
-		c.conn = conn
-		if cs.onConn != nil {
-			cs.onConn(c.index, conn)
-		}
+	if err := cs.ensure(c); err != nil {
+		return err
 	}
 	sock, ok := c.conn.(syscall.Conn)
 	if !ok {

@@ -64,11 +64,35 @@ func Mixed(totalBytes, minSize, maxSize int64, rng *rand.Rand) Manifest {
 	return m
 }
 
+// DeepTree builds a pathological deep-directory dataset: count files of
+// size bytes each, spread along a directory chain depth levels deep
+// (file i lands at depth 1 + i mod depth). Path length, not data volume,
+// is the stressor — manifest encoding, per-file control-plane state, and
+// any store that maps names to paths all see the worst case.
+func DeepTree(count, depth int, size int64) Manifest {
+	if depth < 1 {
+		depth = 1
+	}
+	// prefixes[d] is the directory chain d levels deep ("" at the root).
+	prefixes := make([]string, depth+1)
+	for d := 1; d <= depth; d++ {
+		prefixes[d] = fmt.Sprintf("%sd%02d/", prefixes[d-1], d-1)
+	}
+	m := make(Manifest, count)
+	for i := range m {
+		m[i] = File{Name: fmt.Sprintf("%stree-%05d.dat", prefixes[i%depth+1], i), Size: size}
+	}
+	return m
+}
+
 // Spec is a declarative, JSON-friendly dataset description — the wire
 // counterpart of Manifest used by the scheduler daemon's submit API. Kind
 // selects the generator: "large" (Count equal files of SizeBytes, the
-// paper's Dataset A shape) or "mixed" (log-uniform sizes in
-// [MinBytes, MaxBytes] totalling TotalBytes, the Dataset B shape).
+// paper's Dataset A shape), "mixed" (log-uniform sizes in
+// [MinBytes, MaxBytes] totalling TotalBytes, the Dataset B shape), or
+// "tree" (Count files of SizeBytes spread over a directory chain Depth
+// levels deep — the adversarial metadata-heavy shape the chaos matrix
+// uses alongside its 10⁵-tiny-files and one-huge-file cells).
 type Spec struct {
 	Kind       string `json:"kind"`
 	Count      int    `json:"count,omitempty"`
@@ -76,6 +100,7 @@ type Spec struct {
 	TotalBytes int64  `json:"total_bytes,omitempty"`
 	MinBytes   int64  `json:"min_bytes,omitempty"`
 	MaxBytes   int64  `json:"max_bytes,omitempty"`
+	Depth      int    `json:"depth,omitempty"`
 	Seed       int64  `json:"seed,omitempty"`
 }
 
@@ -109,8 +134,21 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("workload: mixed spec could emit %d files (total/min), exceeding the %d-file limit",
 				s.TotalBytes/s.MinBytes, MaxSpecFiles)
 		}
+	case "tree":
+		if s.Count <= 0 || s.SizeBytes <= 0 {
+			return fmt.Errorf("workload: tree spec needs count>0 and size_bytes>0, got count=%d size=%d",
+				s.Count, s.SizeBytes)
+		}
+		if s.Count > MaxSpecFiles {
+			return fmt.Errorf("workload: tree spec count %d exceeds the %d-file limit", s.Count, MaxSpecFiles)
+		}
+		// Each level adds a "dNN/" segment; bound depth so the longest
+		// name stays well under common PATH_MAX-style limits.
+		if s.Depth > 512 {
+			return fmt.Errorf("workload: tree spec depth %d exceeds the 512-level limit", s.Depth)
+		}
 	default:
-		return fmt.Errorf("workload: unknown dataset kind %q (want \"large\" or \"mixed\")", s.Kind)
+		return fmt.Errorf("workload: unknown dataset kind %q (want \"large\", \"mixed\", or \"tree\")", s.Kind)
 	}
 	return nil
 }
@@ -123,6 +161,8 @@ func (s Spec) Build() (Manifest, error) {
 	switch s.Kind {
 	case "large":
 		return LargeFiles(s.Count, s.SizeBytes), nil
+	case "tree":
+		return DeepTree(s.Count, s.Depth, s.SizeBytes), nil
 	default: // "mixed", already validated
 		return Mixed(s.TotalBytes, s.MinBytes, s.MaxBytes, rand.New(rand.NewSource(s.Seed))), nil
 	}

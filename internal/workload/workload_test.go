@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -145,5 +146,48 @@ func TestQuickMixedInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestDeepTreeSpec(t *testing.T) {
+	s := Spec{Kind: "tree", Count: 10, Depth: 4, SizeBytes: 128}
+	m, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 10 || m.TotalBytes() != 1280 {
+		t.Fatalf("tree manifest: %d files, %d bytes", len(m), m.TotalBytes())
+	}
+	names := map[string]bool{}
+	maxDepth := 0
+	for _, f := range m {
+		if names[f.Name] {
+			t.Fatalf("duplicate name %q", f.Name)
+		}
+		names[f.Name] = true
+		d := strings.Count(f.Name, "/")
+		if d > maxDepth {
+			maxDepth = d
+		}
+		if d < 1 {
+			t.Fatalf("file %q not inside the tree", f.Name)
+		}
+	}
+	if maxDepth != 4 {
+		t.Fatalf("max depth %d, want 4", maxDepth)
+	}
+
+	for _, bad := range []Spec{
+		{Kind: "tree"},
+		{Kind: "tree", Count: 1, SizeBytes: 1, Depth: 10_000},
+		{Kind: "tree", Count: MaxSpecFiles + 1, SizeBytes: 1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("spec %+v unexpectedly valid", bad)
+		}
+	}
+	// Depth 0 defaults to a single level rather than failing.
+	if m := DeepTree(3, 0, 1); len(m) != 3 || strings.Count(m[0].Name, "/") != 1 {
+		t.Fatalf("DeepTree depth-0 default: %v", m)
 	}
 }
