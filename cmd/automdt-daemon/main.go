@@ -58,7 +58,9 @@ func main() {
 	maxActive := flag.Int("max-active", 0, "max concurrent jobs (0 = min stage budget)")
 	opt := flag.String("optimizer", "marlin", "per-job optimizer: marlin, static, automdt")
 	endpoint := flag.Bool("endpoint", false, "run all jobs against one shared multi-session receiver endpoint instead of one private receiver per job")
-	maxSessions := flag.Int("max-sessions", 0, "shared endpoint admission cap (with -endpoint; 0 = default 64)")
+	fleetSize := flag.Int("fleet", 0, "run jobs against a fleet of N receiver endpoints with consistent-hash placement and failover (implies -endpoint semantics; 0 = off)")
+	maxSessions := flag.Int("max-sessions", 0, "shared endpoint admission cap (with -endpoint/-fleet; 0 = default 64)")
+	writeBudget := flag.Float64("write-budget-mbps", 0, "per-endpoint write budget in Mbps, split max-min fair across its sessions (with -endpoint/-fleet; 0 = unarbitrated)")
 	kioMode := flag.String("kio", "auto", "kernel-assisted I/O fast path for the endpoint receiver: auto, on, or off")
 	cc := flag.Int("cc", 4, "static optimizer concurrency")
 	model := flag.String("model", "", "automdt agent checkpoint (from automdt-train)")
@@ -112,11 +114,15 @@ func main() {
 		fatal(fmt.Errorf("unknown optimizer %q", *opt))
 	}
 
+	recvCfg := transfer.Config{MaxSessions: *maxSessions, KioMode: *kioMode, WriteBudgetMbps: *writeBudget}
 	var runner sched.Runner = &sched.LoopbackRunner{}
-	if *endpoint {
-		er := &sched.EndpointRunner{
-			Receiver: transfer.Config{MaxSessions: *maxSessions, KioMode: *kioMode},
-		}
+	switch {
+	case *fleetSize > 0:
+		fr := &sched.FleetRunner{Size: *fleetSize, Receiver: recvCfg}
+		defer fr.Close()
+		runner = fr
+	case *endpoint:
+		er := &sched.EndpointRunner{Receiver: recvCfg}
 		defer er.Close()
 		runner = er
 	}
@@ -129,8 +135,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if er, ok := runner.(*sched.EndpointRunner); ok {
-		data, ctrl, err := er.Addrs()
+	switch r := runner.(type) {
+	case *sched.FleetRunner:
+		eps, err := r.Endpoints()
+		if err != nil {
+			fatal(err)
+		}
+		for _, ep := range eps {
+			fmt.Printf("automdt-daemon: fleet endpoint %s serving data %s, control %s\n", ep.ID, ep.DataAddr, ep.CtrlAddr)
+		}
+	case *sched.EndpointRunner:
+		data, ctrl, err := r.Addrs()
 		if err != nil {
 			fatal(err)
 		}

@@ -29,7 +29,7 @@ func TestQuickChaosMatrix(t *testing.T) {
 	if len(rep.Cells) != len(m.Cells) {
 		t.Fatalf("ran %d of %d cells", len(rep.Cells), len(m.Cells))
 	}
-	killCells, killReplans := 0, 0
+	killCells, killReplans, fleetCells, fleetReplaces := 0, 0, 0, 0
 	for _, c := range rep.Cells {
 		if !c.Pass {
 			t.Errorf("cell %s failed: %s", c.Cell, c.Failure)
@@ -41,12 +41,25 @@ func TestQuickChaosMatrix(t *testing.T) {
 				t.Errorf("cell %s: no detection latency despite an injected kill", c.Cell)
 			}
 		}
+		if c.Peer == "kill-endpoint" {
+			fleetCells++
+			fleetReplaces += c.ReplaceEvents
+			if c.Failovers < 1 {
+				t.Errorf("cell %s: no fleet failovers despite a whole-endpoint kill", c.Cell)
+			}
+		}
 	}
 	if killCells == 0 {
 		t.Fatal("quick matrix has no kill-conn cells")
 	}
 	if killReplans == 0 {
 		t.Fatal("kill-conn cells produced no re-plan events in the flight trace")
+	}
+	if fleetCells == 0 {
+		t.Fatal("quick matrix has no whole-endpoint-kill fleet cells")
+	}
+	if fleetReplaces == 0 {
+		t.Fatal("fleet cells produced no re-place events in the fleet flight trace")
 	}
 	var sb strings.Builder
 	PrintChaosReport(&sb, rep)

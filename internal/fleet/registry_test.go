@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source for TTL tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestRegistry(ttl time.Duration) (*Registry, *fakeClock) {
+	g := NewRegistry(ttl)
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	g.SetClock(clk.now)
+	return g, clk
+}
+
+func liveIDs(g *Registry) []string {
+	infos := g.Live()
+	ids := make([]string, len(infos))
+	for i, in := range infos {
+		ids[i] = in.ID
+	}
+	return ids
+}
+
+func TestRegistryLivenessLifecycle(t *testing.T) {
+	g, clk := newTestRegistry(time.Second)
+
+	if err := g.Register(EndpointInfo{ID: "ep-0", DataAddr: "d0", CtrlAddr: "c0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Register(EndpointInfo{ID: "ep-1", DataAddr: "d1", CtrlAddr: "c1"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := liveIDs(g); strings.Join(got, ",") != "ep-0,ep-1" {
+		t.Fatalf("live after register = %v", got)
+	}
+
+	// Within TTL: heartbeats keep both live.
+	clk.advance(600 * time.Millisecond)
+	if err := g.Heartbeat("ep-0"); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(600 * time.Millisecond)
+	// ep-1's last beat (register) is now 1.2s old → dead; ep-0 still live.
+	if got := liveIDs(g); strings.Join(got, ",") != "ep-0" {
+		t.Fatalf("live after ep-1 TTL lapse = %v", got)
+	}
+
+	// Revive on heartbeat without re-registering.
+	if err := g.Heartbeat("ep-1"); err != nil {
+		t.Fatalf("heartbeat from dead-but-registered endpoint: %v", err)
+	}
+	if got := liveIDs(g); strings.Join(got, ",") != "ep-0,ep-1" {
+		t.Fatalf("live after revival = %v", got)
+	}
+
+	// Deregister removes outright; further heartbeats are rejected.
+	g.Deregister("ep-1")
+	if err := g.Heartbeat("ep-1"); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Fatalf("heartbeat after deregister err = %v, want ErrUnknownEndpoint", err)
+	}
+	if got := liveIDs(g); strings.Join(got, ",") != "ep-0" {
+		t.Fatalf("live after deregister = %v", got)
+	}
+}
+
+func TestRegistryEpochBumpsOnTransitions(t *testing.T) {
+	g, clk := newTestRegistry(time.Second)
+
+	e0 := g.Epoch()
+	g.Register(EndpointInfo{ID: "ep-0"})
+	e1 := g.Epoch()
+	if e1 <= e0 {
+		t.Fatalf("register did not bump epoch: %d → %d", e0, e1)
+	}
+
+	// No transition → epoch stable (ring resync can be skipped).
+	clk.advance(300 * time.Millisecond)
+	g.Heartbeat("ep-0")
+	if e := g.Epoch(); e != e1 {
+		t.Fatalf("live-endpoint heartbeat bumped epoch: %d → %d", e1, e)
+	}
+
+	// TTL death bumps.
+	clk.advance(2 * time.Second)
+	e2 := g.Epoch()
+	if e2 <= e1 {
+		t.Fatalf("TTL death did not bump epoch: %d → %d", e1, e2)
+	}
+	// Revival bumps again.
+	g.Heartbeat("ep-0")
+	e3 := g.Epoch()
+	if e3 <= e2 {
+		t.Fatalf("revival did not bump epoch: %d → %d", e2, e3)
+	}
+	// Deregister bumps.
+	g.Deregister("ep-0")
+	if e := g.Epoch(); e <= e3 {
+		t.Fatalf("deregister did not bump epoch: %d → %d", e3, e)
+	}
+}
+
+func TestRegistryValidationAndSnapshot(t *testing.T) {
+	g, clk := newTestRegistry(time.Second)
+	if err := g.Register(EndpointInfo{}); err == nil {
+		t.Fatal("Register with empty ID succeeded")
+	}
+	if err := g.Heartbeat("ghost"); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Fatalf("unknown heartbeat err = %v", err)
+	}
+
+	g.Register(EndpointInfo{ID: "ep-0"})
+	g.Register(EndpointInfo{ID: "ep-1"})
+	clk.advance(500 * time.Millisecond)
+	g.Heartbeat("ep-0")
+	clk.advance(700 * time.Millisecond) // ep-1 lapses
+
+	snap := g.Snapshot()
+	want := map[string]float64{
+		"automdt_fleet_endpoints{state=\"live\"}":   1,
+		"automdt_fleet_endpoints{state=\"dead\"}":   1,
+		"automdt_fleet_heartbeat_expirations_total": 1,
+	}
+	got := make(map[string]float64)
+	for _, s := range snap.Samples() {
+		key := s.Name
+		for _, l := range s.Labels {
+			key += "{" + l.Key + "=\"" + l.Value + "\"}"
+		}
+		got[key] = s.Value
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("snapshot %s = %v, want %v (all: %v)", k, got[k], v, got)
+		}
+	}
+	if got["automdt_fleet_membership_epoch"] <= 0 {
+		t.Errorf("membership epoch gauge missing or zero: %v", got)
+	}
+}
+
+func TestRegistryDefaultTTL(t *testing.T) {
+	if got := NewRegistry(0).TTL(); got != DefaultTTL {
+		t.Fatalf("TTL() = %v, want %v", got, DefaultTTL)
+	}
+}

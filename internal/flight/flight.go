@@ -56,6 +56,13 @@ const (
 	// path). Chosen.Score carries the bytes re-sent; Note records the
 	// cause and how many chunks the receiver's ledger pull saved.
 	KindReplan = "replan"
+	// KindPlace is the fleet placement ring assigning a session to an
+	// endpoint. Note records the endpoint and ring state.
+	KindPlace = "place"
+	// KindReplace is a fleet failover re-placement: a session whose
+	// endpoint died resuming on a sibling. Note records victim and
+	// successor endpoints.
+	KindReplace = "replace"
 )
 
 // Alt is one scored candidate action. For controller decisions the score

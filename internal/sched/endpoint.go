@@ -3,7 +3,6 @@ package sched
 import (
 	"context"
 	"errors"
-	"fmt"
 	"sync"
 
 	"automdt/internal/env"
@@ -20,6 +19,11 @@ import (
 // sessions, and whose admission cap — not just the scheduler's budget —
 // bounds destination-side load. The endpoint starts lazily on the first
 // job and is shut down by Close.
+//
+// Since the receiver-fleet work it is a thin veneer over a Size-1
+// FleetRunner: same engine, same snapshot series, plus the fleet
+// control-plane gauges. Scale past one endpoint by using FleetRunner
+// directly.
 //
 // All sessions share Store as their destination, so job manifests must
 // not write conflicting content to the same file names (synthetic
@@ -39,51 +43,23 @@ type EndpointRunner struct {
 	// the expected deterministic content.
 	Verify bool
 
-	mu       sync.Mutex
-	recv     *transfer.Receiver
-	cancel   context.CancelFunc
-	started  bool
-	startErr error
-	done     chan struct{}
+	once  sync.Once
+	fleet *FleetRunner
 }
 
-// start lazily listens and serves the endpoint. Caller holds mu.
-func (e *EndpointRunner) start() (*transfer.Receiver, error) {
-	if e.started {
-		return e.recv, e.startErr
-	}
-	e.started = true
-	if e.Store == nil {
-		ss := fsim.NewSyntheticStore()
-		ss.Verify = e.Verify
-		e.Store = ss
-	}
-	recv := transfer.NewReceiver(e.Receiver, e.Store)
-	if err := recv.Listen("127.0.0.1:0", "127.0.0.1:0"); err != nil {
-		e.startErr = err
-		return nil, err
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	e.recv, e.cancel = recv, cancel
-	e.done = make(chan struct{})
-	go func() {
-		defer close(e.done)
-		recv.Serve(ctx)
-	}()
-	return recv, nil
+// runner resolves the backing single-endpoint fleet.
+func (e *EndpointRunner) runner() *FleetRunner {
+	e.once.Do(func() {
+		e.fleet = &FleetRunner{Size: 1, Receiver: e.Receiver, Store: e.Store, Verify: e.Verify}
+	})
+	return e.fleet
 }
 
 // Addrs returns the endpoint's data and control addresses, starting it
 // if necessary — what a daemon prints so external senders can target the
 // shared endpoint directly.
 func (e *EndpointRunner) Addrs() (data, ctrl string, err error) {
-	e.mu.Lock()
-	recv, err := e.start()
-	e.mu.Unlock()
-	if err != nil {
-		return "", "", err
-	}
-	return recv.DataAddr(), recv.CtrlAddr(), nil
+	return e.runner().Addrs()
 }
 
 // Run implements Runner: one sender session against the shared endpoint.
@@ -91,37 +67,24 @@ func (e *EndpointRunner) Run(ctx context.Context, spec JobSpec, ctrl env.Control
 	if spec.DestDir != "" {
 		return nil, errors.New("sched: endpoint runner has a fixed shared destination; DestDir is not supported")
 	}
-	e.mu.Lock()
-	recv, err := e.start()
-	e.mu.Unlock()
-	if err != nil {
-		return nil, fmt.Errorf("sched: start shared endpoint: %w", err)
-	}
-	src := fsim.NewSyntheticStore()
-	send := &transfer.Sender{Cfg: spec.Transfer, Store: src, Manifest: spec.Manifest, Controller: ctrl}
-	return send.Run(ctx, recv.DataAddr(), recv.CtrlAddr())
+	return e.runner().Run(ctx, spec, ctrl)
 }
 
-// Snapshot exports the shared endpoint's automdt_endpoint_* gauges; the
-// scheduler merges them into /metrics.
+// Snapshot exports the shared endpoint's automdt_endpoint_* gauges (and
+// the fleet control-plane's automdt_fleet_* gauges); the scheduler
+// merges them into /metrics.
 func (e *EndpointRunner) Snapshot() metrics.Snapshot {
-	e.mu.Lock()
-	recv := e.recv
-	e.mu.Unlock()
-	if recv == nil {
-		return metrics.Snapshot{}
-	}
-	return recv.MetricsSnapshot()
+	return e.runner().Snapshot()
+}
+
+// Status reports the backing single-endpoint fleet's membership and
+// placement counters — what GET /v1/fleet serves.
+func (e *EndpointRunner) Status() FleetStatus {
+	return e.runner().Status()
 }
 
 // Close shuts the shared endpoint down and waits for its sessions to
 // tear down. Safe to call before any job ran.
 func (e *EndpointRunner) Close() {
-	e.mu.Lock()
-	cancel, done := e.cancel, e.done
-	e.mu.Unlock()
-	if cancel != nil {
-		cancel()
-		<-done
-	}
+	e.runner().Close()
 }

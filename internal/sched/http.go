@@ -69,9 +69,13 @@ func (r SubmitRequest) spec() (JobSpec, error) {
 //	GET    /v1/jobs/{id}        one job's status
 //	POST   /v1/jobs/{id}/cancel cancel a queued or running job
 //	DELETE /v1/jobs/{id}        same as cancel
+//	GET    /v1/fleet            receiver-fleet membership and placement counters
 //	GET    /v1/debug/flight     decision flight-recorder dump
 //	GET    /v1/metrics          text-format metrics snapshot
 //	GET    /v1/healthz          liveness probe
+//
+// GET /fleet answers 404 when the scheduler's runner is not a fleet
+// (e.g. the per-job loopback runner).
 func NewHandler(s *Scheduler) http.Handler {
 	mux := http.NewServeMux()
 
@@ -162,6 +166,15 @@ func NewHandler(s *Scheduler) http.Handler {
 	})
 	handle("POST /jobs/{id}/cancel", cancel)
 	handle("DELETE /jobs/{id}", cancel)
+	handle("GET /fleet", func(w http.ResponseWriter, r *http.Request) {
+		type fleetStatuser interface{ Status() FleetStatus }
+		fs, ok := s.Runner().(fleetStatuser)
+		if !ok {
+			writeErr(w, http.StatusNotFound, errors.New("scheduler runner is not a receiver fleet"))
+			return
+		}
+		writeJSON(w, http.StatusOK, fs.Status())
+	})
 	handle("GET /debug/flight", func(w http.ResponseWriter, r *http.Request) {
 		var since uint64
 		if v := r.URL.Query().Get("since"); v != "" {

@@ -254,3 +254,46 @@ func TestV1RouteAliases(t *testing.T) {
 		t.Fatalf("DELETE /v1/jobs/%d status %d", st.ID, dresp.StatusCode)
 	}
 }
+
+func TestHTTPFleetStatus(t *testing.T) {
+	fr := &FleetRunner{Size: 2, Verify: true}
+	t.Cleanup(fr.Close)
+	_, srv := newTestServer(t, Config{
+		Budget: [env.StageCount]int{8, 8, 8, 8},
+		Runner: fr,
+	})
+
+	resp, err := http.Get(srv.URL + "/v1/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/fleet status %d", resp.StatusCode)
+	}
+	var st FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != 2 || len(st.Endpoints) != 2 {
+		t.Fatalf("fleet status = %+v, want 2 endpoints", st)
+	}
+	for _, ep := range st.Endpoints {
+		if !ep.Live || ep.DataAddr == "" || ep.CtrlAddr == "" {
+			t.Fatalf("endpoint not live or unaddressed: %+v", ep)
+		}
+	}
+
+	// A non-fleet runner answers 404, on both route spellings.
+	_, plain := newTestServer(t, Config{Budget: [env.StageCount]int{8, 8, 8, 8}})
+	for _, path := range []string{"/v1/fleet", "/fleet"} {
+		r, err := http.Get(plain.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s on non-fleet runner: status %d, want 404", path, r.StatusCode)
+		}
+	}
+}

@@ -680,6 +680,10 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 	}
 }
 
+// Runner returns the configured job runner, letting API layers probe
+// its optional capabilities (e.g. the fleet status surface).
+func (s *Scheduler) Runner() Runner { return s.cfg.Runner }
+
 // Close stops the scheduler: queued jobs are cancelled, running
 // transfers' contexts are cancelled, and Close blocks until all workers
 // return. Submit fails with ErrClosed afterwards.

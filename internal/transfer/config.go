@@ -137,6 +137,15 @@ type Config struct {
 	KioMode string
 	// Shaping holds the emulated rate caps.
 	Shaping Shaping
+	// WriteBudgetMbps is the receiver endpoint's arbitrated write-stage
+	// budget: when positive, the endpoint splits this many Mbps max-min
+	// fair (equal shares, rebalanced on every session join/leave) across
+	// its active sessions, so one greedy high-thread session cannot
+	// starve siblings on the shared destination disks. Zero leaves the
+	// write stage unarbitrated. Unlike Shaping.WriteAggMbps — one bucket
+	// all sessions race for — the budget gives each session its own
+	// bucket sized to its fair share.
+	WriteBudgetMbps float64
 	// Hooks observe the transfer lifecycle (job-scoped; optional).
 	Hooks Hooks
 	// WrapConn, when set, wraps every connection the sender dials —

@@ -16,6 +16,7 @@ import (
 	"automdt/internal/flight"
 	"automdt/internal/fsim"
 	"automdt/internal/metrics"
+	"automdt/internal/rate"
 	"automdt/internal/wire"
 	"automdt/internal/workload"
 )
@@ -58,6 +59,10 @@ type Receiver struct {
 	completed int64
 	failed    int64
 	expired   int64
+
+	// arb splits Cfg.WriteBudgetMbps across active sessions; nil when no
+	// budget is configured.
+	arb *writeArbiter
 
 	gcOnce sync.Once
 	// fatal is closed when an acceptor dies outside shutdown, so serve
@@ -220,13 +225,15 @@ func (s *rsession) closeConns() {
 
 // NewReceiver creates a receiver endpoint writing into store.
 func NewReceiver(cfg Config, store fsim.Store) *Receiver {
+	cfg = cfg.WithDefaults()
 	return &Receiver{
-		Cfg:     cfg.WithDefaults(),
+		Cfg:     cfg,
 		Store:   store,
 		byToken: make(map[string]*rsession),
 		byID:    make(map[string]*rsession),
 		pending: make(map[net.Conn]struct{}),
 		fatal:   make(chan struct{}),
+		arb:     newWriteArbiter(cfg.WriteBudgetMbps, cfg.ChunkBytes),
 	}
 }
 
@@ -666,6 +673,9 @@ func (r *Receiver) MetricsSnapshot() metrics.Snapshot {
 	snap.Add("automdt_endpoint_sessions_total", float64(completed), metrics.L("event", "completed"))
 	snap.Add("automdt_endpoint_sessions_total", float64(failed), metrics.L("event", "failed"))
 	snap.Add("automdt_endpoint_ledgers_expired_total", float64(expired))
+	if r.arb != nil {
+		r.arb.snapshotInto(&snap)
+	}
 	for _, s := range sessions {
 		id := metrics.L("session", s.id)
 		snap.Add("automdt_endpoint_session_proto", float64(s.proto), id)
@@ -877,6 +887,14 @@ func (r *Receiver) runSession(parent context.Context, sess *rsession, ctrl *wire
 	var writeCounter metrics.Counter
 	perThread := newLimiterSet(r.Cfg.Shaping.WritePerThreadMbps, r.Cfg.ChunkBytes)
 	agg := newLimiter(r.Cfg.Shaping.WriteAggMbps, r.Cfg.ChunkBytes)
+	// The arbitrated budget bucket: the session's max-min fair share of
+	// the endpoint's write budget, resized by the arbiter as siblings
+	// come and go.
+	budget := rate.Unlimited()
+	if r.arb != nil {
+		budget = r.arb.join(sess.id)
+		defer r.arb.leave(sess.id)
+	}
 	writeDone := make(chan struct{})
 	var writeOnce sync.Once
 	if ledger.CommittedBytes() >= total {
@@ -941,7 +959,8 @@ func (r *Receiver) runSession(parent context.Context, sess *rsession, ctrl *wire
 	// stage gains nothing from syscall batching, and batching would lump
 	// the paced writes into end-of-window bursts.
 	kioBatch := r.Cfg.kioEnabled() &&
-		r.Cfg.Shaping.WritePerThreadMbps <= 0 && r.Cfg.Shaping.WriteAggMbps <= 0
+		r.Cfg.Shaping.WritePerThreadMbps <= 0 && r.Cfg.Shaping.WriteAggMbps <= 0 &&
+		r.Cfg.WriteBudgetMbps <= 0
 	// flushGroup writes one adjacent same-file group and reports how many
 	// leading bytes are durably on disk — on a short write or mid-group
 	// error the caller still commits the chunk-grid pieces inside that
@@ -1042,6 +1061,10 @@ func (r *Receiver) runSession(parent context.Context, sess *rsession, ctrl *wire
 					break
 				}
 				if err := agg.WaitN(ctx, sz); err != nil {
+					aborted = true
+					break
+				}
+				if err := budget.WaitN(ctx, sz); err != nil {
 					aborted = true
 					break
 				}

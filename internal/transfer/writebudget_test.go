@@ -1,0 +1,128 @@
+package transfer
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"automdt/internal/fsim"
+	"automdt/internal/metrics"
+	"automdt/internal/workload"
+)
+
+func TestWriteArbiterEqualSplit(t *testing.T) {
+	a := newWriteArbiter(120, 1<<20)
+	if a == nil {
+		t.Fatal("arbiter nil for positive budget")
+	}
+	l1 := a.join("s1")
+	if got := a.shareMbps(); got != 120 {
+		t.Fatalf("share with 1 member = %v, want 120", got)
+	}
+	wantRate := mbpsToBytesPerSec(120)
+	if got := l1.Rate(); got != wantRate {
+		t.Fatalf("s1 rate = %v, want %v", got, wantRate)
+	}
+
+	l2 := a.join("s2")
+	a.join("s3")
+	if got := a.shareMbps(); got != 40 {
+		t.Fatalf("share with 3 members = %v, want 40", got)
+	}
+	wantRate = mbpsToBytesPerSec(40)
+	if l1.Rate() != wantRate || l2.Rate() != wantRate {
+		t.Fatalf("rates after 3-way split = %v, %v, want %v", l1.Rate(), l2.Rate(), wantRate)
+	}
+
+	// Leaves redistribute to the survivors.
+	a.leave("s2")
+	a.leave("s2") // double-leave: no-op
+	wantRate = mbpsToBytesPerSec(60)
+	if l1.Rate() != wantRate {
+		t.Fatalf("s1 rate after leave = %v, want %v", l1.Rate(), wantRate)
+	}
+
+	// Rejoin returns the same bucket.
+	if a.join("s1") != l1 {
+		t.Fatal("join of existing member returned a new bucket")
+	}
+}
+
+func TestWriteArbiterDisabled(t *testing.T) {
+	if a := newWriteArbiter(0, 1<<20); a != nil {
+		t.Fatal("arbiter non-nil for zero budget")
+	}
+	if a := newWriteArbiter(-5, 1<<20); a != nil {
+		t.Fatal("arbiter non-nil for negative budget")
+	}
+}
+
+func TestWriteArbiterSnapshot(t *testing.T) {
+	a := newWriteArbiter(80, 1<<20)
+	a.join("s1")
+	a.join("s2")
+	var snap metrics.Snapshot
+	a.snapshotInto(&snap)
+	got := map[string]float64{}
+	for _, s := range snap.Samples() {
+		got[s.Name] = s.Value
+	}
+	if got["automdt_endpoint_write_budget_mbps"] != 80 {
+		t.Errorf("budget gauge = %v, want 80", got["automdt_endpoint_write_budget_mbps"])
+	}
+	if got["automdt_endpoint_write_budget_sessions"] != 2 {
+		t.Errorf("sessions gauge = %v, want 2", got["automdt_endpoint_write_budget_sessions"])
+	}
+	if got["automdt_endpoint_write_budget_share_mbps"] != 40 {
+		t.Errorf("share gauge = %v, want 40", got["automdt_endpoint_write_budget_share_mbps"])
+	}
+	if got["automdt_endpoint_write_budget_rebalances_total"] != 2 {
+		t.Errorf("rebalances = %v, want 2", got["automdt_endpoint_write_budget_rebalances_total"])
+	}
+}
+
+// TestWriteBudgetEndToEnd drives one budgeted session over loopback and
+// asserts the transfer stays byte-correct with the budget bucket in the
+// write pool — the wiring from Config.WriteBudgetMbps through the
+// arbiter to the per-chunk WaitN.
+func TestWriteBudgetEndToEnd(t *testing.T) {
+	cfg := testConfig()
+	cfg.WriteBudgetMbps = 4000 // generous: exercises the path, not the pacing
+	m := workload.LargeFiles(4, 1<<20)
+	src, dst := fsim.NewSyntheticStore(), fsim.NewSyntheticStore()
+	dst.Verify = true
+	res, err := Loopback(context.Background(), cfg, m, src, dst, nil)
+	if err != nil {
+		t.Fatalf("budgeted loopback run: %v", err)
+	}
+	if res.Bytes != 4<<20 {
+		t.Fatalf("transferred %d bytes, want %d", res.Bytes, int64(4<<20))
+	}
+	if errs := dst.Errors(); len(errs) > 0 {
+		t.Fatalf("store verification errors: %v", errs)
+	}
+}
+
+// TestWriteBudgetGaugesOnSnapshot asserts a budgeted endpoint exports
+// the automdt_endpoint_write_budget_* gauges.
+func TestWriteBudgetGaugesOnSnapshot(t *testing.T) {
+	cfg := testConfig()
+	cfg.WriteBudgetMbps = 100
+	r := NewReceiver(cfg, fsim.NewSyntheticStore())
+	text := r.MetricsSnapshot().Text()
+	for _, want := range []string{
+		"automdt_endpoint_write_budget_mbps",
+		"automdt_endpoint_write_budget_sessions",
+		"automdt_endpoint_write_budget_share_mbps",
+		"automdt_endpoint_write_budget_rebalances_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("snapshot missing %q:\n%s", want, text)
+		}
+	}
+	// Unbudgeted endpoints must not grow new series.
+	r2 := NewReceiver(testConfig(), fsim.NewSyntheticStore())
+	if strings.Contains(r2.MetricsSnapshot().Text(), "write_budget") {
+		t.Fatal("unbudgeted endpoint exports write-budget gauges")
+	}
+}
